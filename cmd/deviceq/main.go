@@ -1,0 +1,31 @@
+// Command deviceq prints the simulated platforms in the style of the
+// CUDA deviceQuery utility the paper uses to populate Table I.
+//
+// Usage:
+//
+//	deviceq            # both platforms
+//	deviceq NX         # one platform
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"edgeinfer/internal/gpusim"
+)
+
+func main() {
+	if len(os.Args) > 1 {
+		spec, err := gpusim.ByName(os.Args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Println(spec.DeviceQuery())
+		return
+	}
+	for _, spec := range gpusim.Platforms() {
+		fmt.Println(spec.DeviceQuery())
+		fmt.Println()
+	}
+}

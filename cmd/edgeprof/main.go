@@ -1,0 +1,92 @@
+// Command edgeprof is the measurement tool of the simulator: the
+// nvprof-like kernel profiler (summary and trace modes) and the
+// tegrastats-like utilization monitor, driven against engine runs.
+//
+// Usage:
+//
+//	edgeprof -model pednet -platform NX                 # nvprof summary
+//	edgeprof -model pednet -platform NX -trace          # GPU trace mode
+//	edgeprof -model tiny-yolov3 -platform AGX -tegrastats -threads 36
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"edgeinfer/internal/core"
+	"edgeinfer/internal/gpusim"
+	"edgeinfer/internal/models"
+	"edgeinfer/internal/profiler"
+)
+
+func main() {
+	model := flag.String("model", "", "zoo model name")
+	platform := flag.String("platform", "NX", "platform: NX or AGX")
+	clock := flag.Float64("clock", 0, "GPU clock MHz (0 = paper latency clock)")
+	runs := flag.Int("runs", 10, "profiled runs for the summary")
+	trace := flag.Bool("trace", false, "GPU-trace mode (single run, every launch)")
+	chrome := flag.String("chrome", "", "write a chrome://tracing JSON timeline to this path")
+	tegra := flag.Bool("tegrastats", false, "print a tegrastats sample instead of profiling")
+	threads := flag.Int("threads", 1, "concurrent inference threads for -tegrastats")
+	buildID := flag.Int("build", 1, "engine build id")
+	flag.Parse()
+
+	if *model == "" {
+		fmt.Fprintln(os.Stderr, "edgeprof: -model required (try: edgeprof -model pednet)")
+		os.Exit(2)
+	}
+	spec, err := gpusim.ByName(*platform)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "edgeprof:", err)
+		os.Exit(2)
+	}
+	g, err := models.Build(*model)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "edgeprof:", err)
+		os.Exit(1)
+	}
+	e, err := core.Build(g, core.DefaultConfig(spec, *buildID))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "edgeprof:", err)
+		os.Exit(1)
+	}
+	clk := *clock
+	if clk == 0 {
+		clk = gpusim.PaperLatencyClock(spec)
+	}
+	if *tegra {
+		clk = gpusim.PaperMaxClock(spec)
+	}
+	dev := gpusim.NewDevice(spec, clk)
+
+	switch {
+	case *chrome != "":
+		r := e.Run(core.RunConfig{Device: dev, IncludeMemcpy: true, Profile: true})
+		doc, err := profiler.ChromeTrace(e.Key(), r)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "edgeprof:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*chrome, doc, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "edgeprof:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d trace events to %s (open in chrome://tracing)\n", len(r.Kernels)+1, *chrome)
+	case *tegra:
+		load := e.StreamLoad(dev)
+		sample := profiler.Tegrastats(dev, load, *threads)
+		fmt.Println(sample.Render())
+		fmt.Printf("(per-thread FPS %.1f; platform saturates at %d threads)\n",
+			gpusim.ThreadFPS(dev, load, *threads), gpusim.SaturationThreads(dev, load))
+	case *trace:
+		r := e.Run(core.RunConfig{Device: dev, IncludeMemcpy: true, Profile: true})
+		fmt.Print(profiler.Trace(r))
+	default:
+		var results []core.RunResult
+		for i := 0; i < *runs; i++ {
+			results = append(results, e.Run(core.RunConfig{Device: dev, IncludeMemcpy: true, Profile: true, RunIndex: i}))
+		}
+		fmt.Print(profiler.Summarize(results...).Render())
+	}
+}

@@ -1,0 +1,186 @@
+// Command fleetcheck audits a model for deployment-fleet consistency —
+// the operational question the paper's findings raise: if every unit in
+// a fleet builds its own engine from the same trained model, how much do
+// the units disagree? It builds several engines per platform and reports
+// tactic divergence, latency spread, engine-size spread and (for models
+// with numeric proxies) output disagreement, then prints the paper's
+// remedy: build once, serialize the plan, deploy the same binary
+// everywhere.
+//
+// Usage:
+//
+//	fleetcheck -model resnet18               # 3 engines per platform
+//	fleetcheck -model inceptionv4 -engines 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"edgeinfer/internal/core"
+	"edgeinfer/internal/dataset"
+	"edgeinfer/internal/gpusim"
+	"edgeinfer/internal/metrics"
+	"edgeinfer/internal/models"
+)
+
+func main() {
+	model := flag.String("model", "resnet18", "zoo model name")
+	engines := flag.Int("engines", 3, "engines to build per platform")
+	runs := flag.Int("runs", 10, "latency runs per engine")
+	images := flag.Int("images", 500, "evidence images for output comparison (proxy models)")
+	flag.Parse()
+
+	g, err := models.Build(*model)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("fleetcheck: %s, %d engines per platform\n\n", *model, *engines)
+
+	type unit struct {
+		name   string
+		engine *core.Engine
+		stats  metrics.LatencyStats
+	}
+	var fleet []unit
+	hazards := 0
+
+	for _, spec := range gpusim.Platforms() {
+		dev := gpusim.NewDevice(spec, gpusim.PaperLatencyClock(spec))
+		for b := 1; b <= *engines; b++ {
+			e, err := core.Build(g, core.DefaultConfig(spec, b))
+			if err != nil {
+				fail(err)
+			}
+			secs := make([]float64, *runs)
+			for i := range secs {
+				secs[i] = e.Run(core.RunConfig{Device: dev, IncludeMemcpy: true, RunIndex: i}).LatencySec
+			}
+			fleet = append(fleet, unit{
+				name:   fmt.Sprintf("%s#%d", spec.Short(), b),
+				engine: e,
+				stats:  metrics.Latencies(secs),
+			})
+		}
+	}
+
+	fmt.Println("unit      latency (ms)     size (MB)  kernels  distinct tactics")
+	for _, u := range fleet {
+		fmt.Printf("%-8s  %-15s  %9.2f  %7d  %d\n", u.name, u.stats.String(),
+			float64(u.engine.SizeBytes())/1e6, len(u.engine.Launches), len(u.engine.KernelCounts()))
+	}
+
+	// Tactic divergence within each platform.
+	fmt.Println()
+	for p := 0; p < 2; p++ {
+		base := fleet[p**engines]
+		diverged := 0
+		for i := 1; i < *engines; i++ {
+			if !sameKernelCounts(base.engine, fleet[p**engines+i].engine) {
+				diverged++
+			}
+		}
+		fmt.Printf("%s: %d of %d rebuilt engines selected different kernels than engine #1\n",
+			base.engine.Platform, diverged, *engines-1)
+		if diverged > 0 {
+			hazards++
+		}
+	}
+
+	// Latency spread across the whole fleet.
+	lo, hi := fleet[0].stats.MeanMS, fleet[0].stats.MeanMS
+	for _, u := range fleet[1:] {
+		if u.stats.MeanMS < lo {
+			lo = u.stats.MeanMS
+		}
+		if u.stats.MeanMS > hi {
+			hi = u.stats.MeanMS
+		}
+	}
+	spreadPct := 100 * (hi - lo) / hi
+	fmt.Printf("fleet latency spread: %.2f-%.2f ms (%.1f%%)\n", lo, hi, spreadPct)
+	if spreadPct > 5 {
+		hazards++
+	}
+
+	// Output disagreement (numeric proxies only).
+	if models.HasProxy(*model) {
+		disagree, total := outputDisagreement(*model, *engines, *images)
+		fmt.Printf("output disagreement across fleet pairs: %d of %d prediction pairs\n", disagree, total)
+		if disagree > 0 {
+			hazards++
+		}
+	} else {
+		fmt.Printf("(no numeric proxy for %s; output comparison skipped)\n", *model)
+	}
+
+	fmt.Println()
+	if hazards > 0 {
+		fmt.Printf("VERDICT: %d consistency hazard(s) found.\n", hazards)
+		fmt.Println("Remedy (paper §VI-A): build the engine ONCE, serialize the plan")
+		fmt.Println("(rtexec -save), and deploy that exact binary to every unit. Never")
+		fmt.Println("rebuild per unit: rebuilds change outputs, latencies and WCET.")
+		os.Exit(1)
+	}
+	fmt.Println("VERDICT: fleet consistent at this sample size (hazards remain possible; see paper Tables V-VI).")
+}
+
+// sameKernelCounts compares the kernel-count maps of two engines.
+func sameKernelCounts(a, b *core.Engine) bool {
+	ca, cb := a.KernelCounts(), b.KernelCounts()
+	if len(ca) != len(cb) {
+		return false
+	}
+	for k, v := range ca {
+		if cb[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// outputDisagreement runs all fleet engines of the proxy over evidence
+// images and counts pairwise prediction differences.
+func outputDisagreement(model string, engines, images int) (int, int) {
+	proxy, err := models.BuildProxy(model, models.DefaultProxyOptions())
+	if err != nil {
+		fail(err)
+	}
+	cfg := dataset.DefaultBenign((images + dataset.NumClasses - 1) / dataset.NumClasses)
+	set := dataset.Benign(cfg)
+	if len(set) > images {
+		set = set[:images]
+	}
+	var preds [][]int
+	for _, spec := range gpusim.Platforms() {
+		for b := 1; b <= engines; b++ {
+			e, err := core.Build(proxy, core.DefaultConfig(spec, b))
+			if err != nil {
+				fail(err)
+			}
+			p := make([]int, len(set))
+			for i, s := range set {
+				o, err := e.Infer(s.Image)
+				if err != nil {
+					fail(err)
+				}
+				p[i] = o[0].Argmax()
+			}
+			preds = append(preds, p)
+		}
+	}
+	disagree, total := 0, 0
+	for i := 0; i < len(preds); i++ {
+		for j := i + 1; j < len(preds); j++ {
+			disagree += metrics.Mismatches(preds[i], preds[j])
+			total += len(set)
+		}
+	}
+	return disagree, total
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "fleetcheck:", err)
+	os.Exit(1)
+}

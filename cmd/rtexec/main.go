@@ -1,0 +1,161 @@
+// Command rtexec is the trtexec-like workbench of the simulator: it
+// builds engines from zoo models (or framework files exported by this
+// tool), saves/loads serialized plans, and times inference on a chosen
+// platform.
+//
+// Usage:
+//
+//	rtexec -model resnet18 -platform NX                      # build + time
+//	rtexec -model resnet18 -platform NX -save resnet18.plan  # build + save
+//	rtexec -load resnet18.plan -run AGX                      # cross-platform run
+//	rtexec -model googlenet -platform AGX -export caffe -o googlenet.model
+//	rtexec -import googlenet.model -platform NX              # framework import
+//	rtexec -model pednet -platform NX -runs 10 -profile      # stats + profile
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"edgeinfer/internal/core"
+	"edgeinfer/internal/frameworks"
+	"edgeinfer/internal/gpusim"
+	"edgeinfer/internal/graph"
+	"edgeinfer/internal/metrics"
+	"edgeinfer/internal/models"
+	"edgeinfer/internal/profiler"
+	"edgeinfer/internal/tensor"
+)
+
+func main() {
+	model := flag.String("model", "", "zoo model name (see -list)")
+	list := flag.Bool("list", false, "list zoo models")
+	platform := flag.String("platform", "NX", "build platform: NX or AGX")
+	run := flag.String("run", "", "run platform (default: build platform)")
+	clock := flag.Float64("clock", 0, "GPU clock MHz (0 = paper latency clock)")
+	buildID := flag.Int("build", 1, "build id (engines with different ids may differ)")
+	precision := flag.String("precision", "fp16", "engine precision: fp32, fp16 or int8")
+	runs := flag.Int("runs", 10, "timed runs")
+	prof := flag.Bool("profile", false, "attach the nvprof-like profiler and print a summary")
+	memcpy := flag.Bool("memcpy", true, "include engine H2D copy in timing")
+	save := flag.String("save", "", "save the built engine plan to a file")
+	load := flag.String("load", "", "load an engine plan instead of building")
+	export := flag.String("export", "", "export the model in a framework format (caffe|tensorflow|darknet|pytorch)")
+	importPath := flag.String("import", "", "import a framework model file (written by -export)")
+	out := flag.String("o", "model.out", "output path for -export")
+	dot := flag.String("dot", "", "write a Graphviz rendering of the model graph to this path")
+	flag.Parse()
+
+	if *list {
+		for _, name := range models.List() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	var e *core.Engine
+	var g *graph.Graph
+	switch {
+	case *load != "":
+		var err error
+		e, err = core.LoadFile(*load)
+		fail(err)
+		fmt.Printf("loaded engine: %s (built on %s, build %d, %d kernels, %.2f MB)\n",
+			e.ModelName, e.Platform, e.BuildID, len(e.Launches), float64(e.SizeBytes())/1e6)
+	case *importPath != "":
+		g = importModel(*importPath)
+	case *model != "":
+		var err error
+		g, err = models.Build(*model)
+		fail(err)
+	default:
+		fmt.Fprintln(os.Stderr, "rtexec: need -model, -load or -import (see -h)")
+		os.Exit(2)
+	}
+
+	if *dot != "" && g != nil {
+		fail(os.WriteFile(*dot, []byte(g.DOT()), 0o644))
+		fmt.Printf("wrote graph of %s to %s (render with: dot -Tsvg %s)\n", g.Name, *dot, *dot)
+		return
+	}
+
+	if *export != "" {
+		m, err := frameworks.Export(g, frameworks.Format(*export))
+		fail(err)
+		fail(writeModel(*out, m))
+		fmt.Printf("exported %s as %s to %s (%d arch bytes, %d weight bytes)\n",
+			g.Name, *export, *out, len(m.Arch), len(m.Weights))
+		return
+	}
+
+	spec, err := gpusim.ByName(*platform)
+	fail(err)
+	if e == nil {
+		cfg := core.DefaultConfig(spec, *buildID)
+		switch *precision {
+		case "fp32":
+			cfg.Precision = tensor.FP32
+		case "fp16":
+			cfg.Precision = tensor.FP16
+		case "int8":
+			cfg.Precision = tensor.INT8
+		default:
+			fail(fmt.Errorf("unknown precision %q", *precision))
+		}
+		e, err = core.Build(g, cfg)
+		fail(err)
+		fmt.Printf("built engine: %s on %s (build %d)\n", e.ModelName, e.Platform, e.BuildID)
+		fmt.Printf("  optimization: %d layers removed, %d fused, %d horizontally merged\n",
+			e.RemovedLayers, e.FusedLayers, e.MergedLaunches)
+		fmt.Printf("  plan: %d kernel launches, %.2f MB serialized\n", len(e.Launches), float64(e.SizeBytes())/1e6)
+	}
+	if *save != "" {
+		fail(e.SaveFile(*save))
+		fmt.Printf("saved plan to %s\n", *save)
+	}
+
+	runSpec := spec
+	if *run != "" {
+		runSpec, err = gpusim.ByName(*run)
+		fail(err)
+	}
+	clk := *clock
+	if clk == 0 {
+		clk = gpusim.PaperLatencyClock(runSpec)
+	}
+	dev := gpusim.NewDevice(runSpec, clk)
+
+	var results []core.RunResult
+	secs := make([]float64, *runs)
+	for i := 0; i < *runs; i++ {
+		r := e.Run(core.RunConfig{Device: dev, IncludeMemcpy: *memcpy, Profile: *prof, RunIndex: i})
+		secs[i] = r.LatencySec
+		results = append(results, r)
+	}
+	stats := metrics.Latencies(secs)
+	fmt.Printf("ran %d inferences on %s @ %.0f MHz: %.2f ms mean (std %.2f, min %.2f, max %.2f)\n",
+		stats.N, runSpec.Short(), clk, stats.MeanMS, stats.StdMS, stats.MinMS, stats.MaxMS)
+	fmt.Printf("throughput: %.1f FPS\n", metrics.FPS(stats.MeanMS/1e3))
+	if *prof {
+		fmt.Println(profiler.Summarize(results...).Render())
+	}
+}
+
+func importModel(path string) *graph.Graph {
+	data, err := os.ReadFile(path)
+	fail(err)
+	m, err := readModel(data)
+	fail(err)
+	g, err := frameworks.Import(m)
+	fail(err)
+	fmt.Printf("imported %s model %s (%d layers)\n", m.Format, g.Name, len(g.Layers))
+	return g
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rtexec:", err)
+		os.Exit(1)
+	}
+}

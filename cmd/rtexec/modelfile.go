@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+
+	"edgeinfer/internal/frameworks"
+)
+
+// Framework model files on disk: a tiny container holding the format
+// tag, the architecture text and the weight payload.
+
+const modelMagic = "EDGEMDL1"
+
+// writeModel serializes a frameworks.Model to path.
+func writeModel(path string, m frameworks.Model) error {
+	var b bytes.Buffer
+	b.WriteString(modelMagic)
+	writeChunk := func(data []byte) {
+		binary.Write(&b, binary.LittleEndian, uint32(len(data)))
+		b.Write(data)
+	}
+	writeChunk([]byte(m.Format))
+	writeChunk(m.Arch)
+	writeChunk(m.Weights)
+	return writeFile(path, b.Bytes())
+}
+
+// readModel parses a container written by writeModel.
+func readModel(data []byte) (frameworks.Model, error) {
+	if len(data) < len(modelMagic) || string(data[:len(modelMagic)]) != modelMagic {
+		return frameworks.Model{}, fmt.Errorf("not an edgeinfer model file")
+	}
+	rest := data[len(modelMagic):]
+	next := func() ([]byte, error) {
+		if len(rest) < 4 {
+			return nil, fmt.Errorf("truncated model file")
+		}
+		n := binary.LittleEndian.Uint32(rest)
+		rest = rest[4:]
+		if len(rest) < int(n) {
+			return nil, fmt.Errorf("truncated model chunk")
+		}
+		chunk := rest[:n]
+		rest = rest[n:]
+		return chunk, nil
+	}
+	format, err := next()
+	if err != nil {
+		return frameworks.Model{}, err
+	}
+	arch, err := next()
+	if err != nil {
+		return frameworks.Model{}, err
+	}
+	weights, err := next()
+	if err != nil {
+		return frameworks.Model{}, err
+	}
+	return frameworks.Model{Format: frameworks.Format(format), Arch: arch, Weights: weights}, nil
+}
+
+// writeFile wraps os.WriteFile with conventional permissions.
+func writeFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"edgeinfer/internal/frameworks"
+	"edgeinfer/internal/models"
+)
+
+func TestModelFileRoundTrip(t *testing.T) {
+	g := models.MustBuild("tiny-yolov3")
+	m, err := frameworks.Export(g, frameworks.Darknet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ty.model")
+	if err := writeModel(path, m); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := readModel(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Format != frameworks.Darknet {
+		t.Fatalf("format %q", back.Format)
+	}
+	if string(back.Arch) != string(m.Arch) {
+		t.Fatal("arch lost")
+	}
+	if len(back.Weights) != len(m.Weights) {
+		t.Fatal("weights lost")
+	}
+	// And it imports back into a graph.
+	g2, err := frameworks.Import(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g2.Layers) != len(g.Layers) {
+		t.Fatalf("layers %d vs %d", len(g2.Layers), len(g.Layers))
+	}
+}
+
+func TestReadModelRejectsCorruption(t *testing.T) {
+	g := models.MustBuild("mtcnn")
+	m, err := frameworks.Export(g, frameworks.Caffe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "m.model")
+	if err := writeModel(path, m); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	// wrong magic
+	if _, err := readModel([]byte("NOTMAGIC" + string(data[8:]))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// truncations at several prefixes must error, never panic
+	for _, n := range []int{0, 4, 8, 10, 20, len(data) / 2, len(data) - 1} {
+		if n > len(data) {
+			continue
+		}
+		if _, err := readModel(data[:n]); err == nil {
+			t.Fatalf("truncation at %d accepted", n)
+		}
+	}
+}

@@ -1,0 +1,9 @@
+// Package edgeinfer is a pure-Go reproduction of "Demystifying TensorRT:
+// Characterizing Neural Network Inference Engine on Nvidia Edge Devices"
+// (IISWC 2021): a TensorRT-like inference-engine builder and runtime, an
+// analytic simulator of the Jetson Xavier NX and AGX GPUs, the paper's
+// 13-network model zoo, synthetic benign/adversarial datasets, profiling
+// tools, and a harness that regenerates every table and figure of the
+// paper's evaluation. See README.md for a tour and DESIGN.md for the
+// architecture and the simulation-substitution rationale.
+package edgeinfer

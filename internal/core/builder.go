@@ -1,0 +1,338 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"edgeinfer/internal/fixrand"
+	"edgeinfer/internal/gpusim"
+	"edgeinfer/internal/graph"
+	"edgeinfer/internal/kernels"
+	"edgeinfer/internal/tensor"
+)
+
+// BuildConfig parameterizes engine building.
+type BuildConfig struct {
+	// Platform is the device the engine is built on. Tactic timing runs
+	// on this platform, so engines are platform-specific — NVIDIA
+	// recommends building where you run (paper §IV-C).
+	Platform gpusim.DeviceSpec
+	// ClockMHz is the GPU clock during tactic timing (0 = max).
+	ClockMHz float64
+	// Precision selects the quantization target; the default is FP16,
+	// matching the paper's engines.
+	Precision tensor.Precision
+	// BuildID distinguishes repeated builds of the same model: it seeds
+	// the tuner's measurement noise, so different IDs reproduce the
+	// paper's build-to-build non-determinism deterministically.
+	BuildID int
+	// TunerNoise is the relative sigma of tactic timing measurement
+	// noise. Zero disables it (ablation: all non-determinism vanishes).
+	// The default 0.08 reflects observed kernel-timing jitter on Jetson.
+	TunerNoise float64
+	// PruneFrac is the magnitude-pruning threshold as a fraction of each
+	// weight tensor's RMS (model compression). Zero disables pruning.
+	PruneFrac float64
+	// Calibrator supplies per-layer activation ranges for INT8 builds of
+	// numeric graphs. Required when Precision is INT8 and the graph has
+	// materialized weights; ignored otherwise.
+	Calibrator Calibrator
+}
+
+// DefaultConfig returns the standard FP16 build configuration for a
+// platform.
+func DefaultConfig(spec gpusim.DeviceSpec, buildID int) BuildConfig {
+	return BuildConfig{
+		Platform:   spec,
+		Precision:  tensor.FP16,
+		BuildID:    buildID,
+		TunerNoise: 0.08,
+		PruneFrac:  0.60,
+	}
+}
+
+// Build runs the full optimization pipeline on a model graph and returns
+// a deployable engine. The input graph is not modified.
+func Build(src *graph.Graph, cfg BuildConfig) (*Engine, error) {
+	if !src.Finalized() {
+		return nil, fmt.Errorf("core: build of unfinalized graph %s", src.Name)
+	}
+	g := src.Clone()
+	g.Outputs = append([]string(nil), src.Outputs...)
+
+	// Pass 1: dead-layer removal.
+	removed := deadLayerRemoval(g)
+	if err := g.Finalize(); err != nil {
+		return nil, fmt.Errorf("core: after dead-layer removal: %w", err)
+	}
+	// Pass 2: vertical fusion.
+	fusions, fused := verticalFusion(g)
+	if err := g.Finalize(); err != nil {
+		return nil, fmt.Errorf("core: after vertical fusion: %w", err)
+	}
+	// INT8 builds calibrate activation ranges on the still-FP32 fused
+	// graph before weights are quantized.
+	var ranges map[string]float32
+	if cfg.Precision == tensor.INT8 && hasWeights(g) {
+		if cfg.Calibrator == nil {
+			return nil, fmt.Errorf("core: INT8 build of %s requires a Calibrator", src.Name)
+		}
+		var err error
+		ranges, err = cfg.Calibrator.Ranges(g)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Pass 4 (numeric engines): weight compression + quantization.
+	numeric := quantizeWeights(g, cfg.Precision, cfg.PruneFrac)
+
+	e := &Engine{
+		ModelName:  src.Name,
+		Platform:   cfg.Platform.Short(),
+		BuildID:    cfg.BuildID,
+		Precision:  cfg.Precision,
+		Graph:      g,
+		Choices:    map[string]kernels.Variant{},
+		Fusions:    fusions,
+		Numeric:    numeric,
+		Int8Ranges: ranges,
+	}
+	e.RemovedLayers = removed
+	e.FusedLayers = fused
+
+	// Pass 3+5: horizontal merging and kernel mapping.
+	dev := gpusim.NewDevice(cfg.Platform, cfg.ClockMHz)
+	tn := &tuner{
+		dev:   dev,
+		noise: fixrand.NewKeyed(fmt.Sprintf("tuner/%s", e.Key())),
+		sigma: cfg.TunerNoise,
+	}
+	if err := planLaunches(e, tn, cfg); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// hasWeights reports whether any layer has materialized weight tensors.
+func hasWeights(g *graph.Graph) bool {
+	for _, l := range g.Layers {
+		for _, w := range l.Weights {
+			if w != nil {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// tuner times kernel candidates on the build device with multiplicative
+// log-normal measurement noise — the root cause of engine
+// non-determinism.
+type tuner struct {
+	dev   *gpusim.Device
+	noise *fixrand.Source
+	sigma float64
+}
+
+// measure returns the (noisy) observed time of a launch. Two noise
+// components model real tactic timing on a busy SoC: a per-(build,
+// kernel-family) systematic bias — the thermal/clock state of the board
+// during that build session skews whole tactic classes together — and
+// per-(layer, symbol) jitter. The systematic part is what makes rebuilt
+// engines differ *coherently* (one build shuns HMMA tiles everywhere),
+// producing the paper's 10-35% engine-to-engine latency spreads.
+func (t *tuner) measure(key string, ls kernels.LaunchSpec) float64 {
+	base := ls.TimeSec(t.dev)
+	if t.sigma <= 0 {
+		return base
+	}
+	sys := t.noise.Fork("family/" + ls.V.Family.String()).NormFloat64()
+	jit := t.noise.Fork(key + "/" + ls.Symbol).NormFloat64()
+	return base * math.Exp(sysSigma*sys+t.sigma*jit)
+}
+
+// sysSigma is the per-build systematic tactic-timing bias.
+const sysSigma = 0.10
+
+// pickConv selects the fastest-measured conv variant for the dims.
+func (t *tuner) pickConv(layer string, d kernels.ConvDims, prec tensor.Precision) (kernels.Variant, kernels.LaunchSpec) {
+	return t.pick(layer, d, kernels.ConvCandidates(d, prec))
+}
+
+// pickGEMM selects the fastest-measured FC variant.
+func (t *tuner) pickGEMM(layer string, d kernels.ConvDims, prec tensor.Precision) (kernels.Variant, kernels.LaunchSpec) {
+	return t.pick(layer, d, kernels.GEMMCandidates(d, prec))
+}
+
+func (t *tuner) pick(layer string, d kernels.ConvDims, cands []kernels.Variant) (kernels.Variant, kernels.LaunchSpec) {
+	best := math.Inf(1)
+	var bv kernels.Variant
+	var bs kernels.LaunchSpec
+	for _, v := range cands {
+		ls := kernels.PlanConv(v, d)
+		obs := t.measure(layer, ls)
+		if obs < best {
+			best, bv, bs = obs, v, ls
+		}
+	}
+	return bv, bs
+}
+
+// convDims extracts the implicit-GEMM dimensions of a conv layer.
+func convDims(g *graph.Graph, l *graph.Layer) kernels.ConvDims {
+	in := g.Layer(l.Inputs[0]).OutShape
+	out := l.OutShape
+	return kernels.ConvDims{
+		Batch: in[0], InC: in[1], H: in[2], W: in[3],
+		OutC: out[1], OutH: out[2], OutW: out[3],
+		Kernel: l.Conv.Kernel, Stride: l.Conv.Stride, Groups: l.Conv.Groups,
+	}
+}
+
+// fcDims extracts the GEMM dimensions of a fully-connected layer.
+func fcDims(g *graph.Graph, l *graph.Layer) kernels.ConvDims {
+	in := g.Layer(l.Inputs[0]).OutShape
+	return kernels.ConvDims{
+		Batch: in[0], InC: in[1] * in[2] * in[3], H: 1, W: 1,
+		OutC: l.OutUnits, OutH: 1, OutW: 1, Kernel: 1, Stride: 1, Groups: 1,
+	}
+}
+
+// planLaunches builds the ordered kernel plan: horizontal merge groups
+// for sibling 1x1 convolutions, tuned tactics for conv/FC, and fixed
+// kernels for everything else. Detection models get the cub radix-sort
+// pair that ranks boxes before NMS.
+func planLaunches(e *Engine, tn *tuner, cfg BuildConfig) error {
+	g := e.Graph
+	mergeLeader, mergeGroup := horizontalGroups(g)
+	planned := map[string]bool{}
+
+	for _, l := range g.Layers {
+		switch l.Op {
+		case graph.OpInput, graph.OpFlatten, graph.OpDropout:
+			continue
+
+		case graph.OpConv:
+			if planned[l.Name] {
+				continue
+			}
+			group := []string{l.Name}
+			if leader, ok := mergeLeader[l.Name]; ok {
+				if leader != l.Name {
+					continue // a later leader launch covers this layer
+				}
+				group = mergeGroup[l.Name]
+			}
+			d := convDims(g, l)
+			if len(group) > 1 {
+				// Merged launch: one kernel computes the concatenated
+				// output channels of all group members.
+				totalC := 0
+				for _, name := range group {
+					totalC += g.Layer(name).Conv.OutC
+				}
+				d.OutC = totalC
+				e.MergedLaunches += len(group) - 1
+			}
+			v, ls := tn.pickConv(l.Name, d, cfg.Precision)
+			for _, name := range group {
+				e.Choices[name] = v
+				planned[name] = true
+			}
+			e.Launches = append(e.Launches, Launch{Symbol: ls.Symbol, Layers: group, Spec: ls})
+
+		case graph.OpFC:
+			d := fcDims(g, l)
+			v, ls := tn.pickGEMM(l.Name, d, cfg.Precision)
+			e.Choices[l.Name] = v
+			e.Launches = append(e.Launches, Launch{Symbol: ls.Symbol, Layers: []string{l.Name}, Spec: ls})
+
+		default:
+			ls, ok := simpleLaunch(g, l, cfg.Precision)
+			if !ok {
+				continue
+			}
+			e.Launches = append(e.Launches, Launch{Symbol: ls.Symbol, Layers: []string{l.Name}, Spec: ls})
+		}
+	}
+
+	if g.Task == "detection" {
+		// Output stage: segmented radix sort of candidate boxes (two cub
+		// kernel launches, as nvprof shows for the paper's detectors).
+		var boxes int64
+		for _, name := range g.Outputs {
+			s := g.Layer(name).OutShape
+			boxes += int64(s[1]) * int64(s[2]) * int64(s[3])
+		}
+		if boxes > 0 {
+			ls := kernels.PlanSort(boxes)
+			e.Launches = append(e.Launches,
+				Launch{Symbol: ls.Symbol + "1", Layers: []string{"nms"}, Spec: ls},
+				Launch{Symbol: ls.Symbol + "2", Layers: []string{"nms"}, Spec: ls})
+		}
+	}
+	return nil
+}
+
+// simpleLaunch prices the non-tuned ops.
+func simpleLaunch(g *graph.Graph, l *graph.Layer, prec tensor.Precision) (kernels.LaunchSpec, bool) {
+	out := l.OutShape
+	outElems := int64(out[0]) * int64(out[1]) * int64(out[2]) * int64(out[3])
+	var inElems int64
+	for _, in := range l.Inputs {
+		s := g.Layer(in).OutShape
+		inElems += int64(s[0]) * int64(s[1]) * int64(s[2]) * int64(s[3])
+	}
+	switch l.Op {
+	case graph.OpMaxPool, graph.OpAvgPool, graph.OpGlobalAvgPool:
+		k := int64(l.Pool.Kernel)
+		if l.Op == graph.OpGlobalAvgPool {
+			k = 1
+		}
+		return kernels.PlanSimple(kernels.FamPool, prec, inElems, outElems, k*k), true
+	case graph.OpLRN:
+		// Cross-channel LRN re-reads a (size+1)-wide channel window per
+		// output — a notorious bandwidth hog (GoogLeNet/AlexNet norm
+		// layers), visible in the paper's Table XI as lrnForward.
+		return kernels.PlanSimple(kernels.FamLRN, prec, inElems*int64(l.LRNSize+1), outElems, int64(l.LRNSize)*4), true
+	case graph.OpReLU, graph.OpLeakyReLU, graph.OpSigmoid, graph.OpBatchNorm, graph.OpScale:
+		return kernels.PlanSimple(kernels.FamActivation, prec, inElems, outElems, 2), true
+	case graph.OpAdd:
+		return kernels.PlanSimple(kernels.FamEltwise, prec, inElems, outElems, 1), true
+	case graph.OpConcat, graph.OpUpsample:
+		return kernels.PlanSimple(kernels.FamCopy, prec, inElems, outElems, 0), true
+	case graph.OpSoftmax:
+		return kernels.PlanSimple(kernels.FamSoftmax, prec, inElems, outElems, 5), true
+	default:
+		return kernels.LaunchSpec{}, false
+	}
+}
+
+// horizontalGroups finds sibling 1x1 convolutions sharing one input with
+// identical stride/groups — TensorRT's horizontal merging (Figure 2,
+// step 3). Returns a layer->leader map and leader->members map; members
+// are ordered deterministically.
+func horizontalGroups(g *graph.Graph) (map[string]string, map[string][]string) {
+	leader := map[string]string{}
+	groups := map[string][]string{}
+	for _, src := range g.Layers {
+		var sibs []string
+		for _, cname := range g.Consumers(src.Name) {
+			c := g.Layer(cname)
+			if c.Op == graph.OpConv && c.Conv.Kernel == 1 && c.Conv.Stride == 1 &&
+				(c.Conv.Groups <= 1) && len(c.Inputs) == 1 {
+				sibs = append(sibs, cname)
+			}
+		}
+		if len(sibs) < 2 {
+			continue
+		}
+		sort.Strings(sibs)
+		for _, s := range sibs {
+			leader[s] = sibs[0]
+		}
+		groups[sibs[0]] = sibs
+	}
+	return leader, groups
+}

@@ -1,0 +1,70 @@
+package core_test
+
+import (
+	"fmt"
+
+	"edgeinfer/internal/core"
+	"edgeinfer/internal/gpusim"
+	"edgeinfer/internal/models"
+)
+
+// Building an engine runs the full optimization pipeline of the paper's
+// Figure 2 and reports what each pass did.
+func ExampleBuild() {
+	g := models.MustBuild("googlenet")
+	e, err := core.Build(g, core.DefaultConfig(gpusim.XavierNX(), 1))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("removed %d dead layers (aux heads + dropout)\n", e.RemovedLayers)
+	fmt.Printf("fused %d layers vertically\n", e.FusedLayers)
+	fmt.Printf("merged %d sibling 1x1 convolutions\n", e.MergedLaunches)
+	fmt.Printf("precision: %s\n", e.Precision)
+	// Output:
+	// removed 13 dead layers (aux heads + dropout)
+	// fused 57 layers vertically
+	// merged 18 sibling 1x1 convolutions
+	// precision: fp16
+}
+
+// Engines built with different build ids may select different kernels —
+// the paper's Finding 6. The same id always reproduces the same engine.
+func ExampleEngine_KernelCounts() {
+	g := models.MustBuild("resnet18")
+	a1, _ := core.Build(g, core.DefaultConfig(gpusim.XavierNX(), 1))
+	a2, _ := core.Build(g, core.DefaultConfig(gpusim.XavierNX(), 1))
+	fmt.Println("same build id, same plan:", len(a1.Launches) == len(a2.Launches))
+
+	sameCounts := func(x, y map[string]int) bool {
+		if len(x) != len(y) {
+			return false
+		}
+		for k, v := range x {
+			if y[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	fmt.Println("identical kernel counts:", sameCounts(a1.KernelCounts(), a2.KernelCounts()))
+	// Output:
+	// same build id, same plan: true
+	// identical kernel counts: true
+}
+
+// A timed run prices the kernel plan on any platform — also one the
+// engine was not built on (the paper's cross-platform cases).
+func ExampleEngine_Run() {
+	g := models.MustBuild("mobilenetv1")
+	e, _ := core.Build(g, core.DefaultConfig(gpusim.XavierNX(), 1))
+	nx := gpusim.NewDevice(gpusim.XavierNX(), 599)
+	agx := gpusim.NewDevice(gpusim.XavierAGX(), 624)
+	rNX := e.Run(core.RunConfig{Device: nx, IncludeMemcpy: true})
+	rAGX := e.Run(core.RunConfig{Device: agx, IncludeMemcpy: true})
+	fmt.Println("ran on NX and AGX:", rNX.LatencySec > 0 && rAGX.LatencySec > 0)
+	fmt.Println("NX engine slower on the bigger AGX:", rAGX.LatencySec > rNX.LatencySec)
+	// Output:
+	// ran on NX and AGX: true
+	// NX engine slower on the bigger AGX: true
+}

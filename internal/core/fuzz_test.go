@@ -1,0 +1,49 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"edgeinfer/internal/gpusim"
+	"edgeinfer/internal/models"
+)
+
+// FuzzLoad throws arbitrary bytes (seeded with real plan prefixes) at the
+// engine-plan loader: it must return an error or a valid engine, never
+// panic or hang.
+func FuzzLoad(f *testing.F) {
+	g, err := models.BuildProxy("vgg16", models.DefaultProxyOptions())
+	if err != nil {
+		f.Fatal(err)
+	}
+	e, err := Build(g, DefaultConfig(gpusim.XavierNX(), 1))
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	plan := buf.Bytes()
+	f.Add(plan)
+	f.Add(plan[:len(plan)/2])
+	f.Add([]byte("EDGERT01"))
+	f.Add([]byte{})
+	// corrupted header length
+	bad := append([]byte(nil), plan...)
+	if len(bad) > 12 {
+		bad[8], bad[9] = 0xff, 0xff
+	}
+	f.Add(bad)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// cap pathological sizes the mutator may produce
+		if len(data) > 1<<22 {
+			t.Skip()
+		}
+		e, err := Load(bytes.NewReader(data))
+		if err == nil && e == nil {
+			t.Fatal("nil engine without error")
+		}
+	})
+}

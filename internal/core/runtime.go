@@ -1,0 +1,293 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"edgeinfer/internal/fixrand"
+	"edgeinfer/internal/gpusim"
+	"edgeinfer/internal/graph"
+	"edgeinfer/internal/kernels"
+	"edgeinfer/internal/tensor"
+)
+
+// RunConfig parameterizes a timed engine execution.
+type RunConfig struct {
+	// Device is the platform (and clock) the engine runs on — not
+	// necessarily the one it was built on (paper's cNX_rAGX etc.).
+	Device *gpusim.Device
+	// IncludeMemcpy copies the engine weights host-to-device as part of
+	// the measured run, as the paper's methodology does (Table VIII); set
+	// false to reproduce the "CUDA memcpy excluded" columns of Table X.
+	IncludeMemcpy bool
+	// Profile attaches the nvprof-like profiler: per-launch
+	// instrumentation cost and serialization of concurrent kernels.
+	Profile bool
+	// RunIndex seeds per-run jitter (the paper reports mean/std over 10
+	// runs).
+	RunIndex int
+}
+
+// KernelInvocation is one executed kernel, as the profiler records it.
+type KernelInvocation struct {
+	Symbol string
+	Layers []string
+	DurSec float64
+}
+
+// RunResult is the outcome of one timed inference.
+type RunResult struct {
+	LatencySec float64
+	MemcpySec  float64
+	Kernels    []KernelInvocation
+}
+
+// Per-launch host cost and profiler cost. Launch overhead is CPU-side
+// work per kernel submission; the profiler adds instrumentation per
+// launch and prevents inter-kernel overlap (without it, back-to-back
+// kernels overlap their tails slightly).
+const (
+	profPerLaunchSec = 60e-6
+	overlapFactor    = 0.88
+	profSerialFactor = 1.05
+	runJitterSigma   = 0.02
+)
+
+// Run executes the engine plan on a device and returns the simulated
+// latency with a per-kernel trace. Deterministic given the engine key,
+// device, and RunIndex.
+func (e *Engine) Run(cfg RunConfig) RunResult {
+	dev := cfg.Device
+	jit := fixrand.NewKeyed(fmt.Sprintf("run/%s/%s@%.0f/%d/prof=%v",
+		e.Key(), dev.Spec.Short(), dev.ClockMHz, cfg.RunIndex, cfg.Profile))
+	var res RunResult
+	if cfg.IncludeMemcpy {
+		res.MemcpySec = dev.MemcpyH2DSec(e.WeightBytes(), e.WeightChunks())
+		// Copy jitter (pageable memory, CPU contention).
+		res.MemcpySec *= math.Exp(runJitterSigma * jit.NormFloat64())
+	}
+	total := res.MemcpySec
+	for _, l := range e.Launches {
+		t := l.Spec.TimeSec(dev)
+		t *= math.Exp(runJitterSigma * jit.NormFloat64())
+		if cfg.Profile {
+			t = t*profSerialFactor + profPerLaunchSec
+		} else {
+			t *= overlapFactor
+		}
+		t += dev.LaunchOverheadSec()
+		res.Kernels = append(res.Kernels, KernelInvocation{Symbol: l.Symbol, Layers: l.Layers, DurSec: t})
+		total += t
+	}
+	res.LatencySec = total
+	return res
+}
+
+// GPUTimeSec returns the pure GPU-resident time of one inference on a
+// device (no memcpy, no profiler, no host gaps): the per-frame GPU cost
+// used by the concurrency model.
+func (e *Engine) GPUTimeSec(dev *gpusim.Device) float64 {
+	var total float64
+	for _, l := range e.Launches {
+		total += l.Spec.TimeSec(dev) * overlapFactor
+	}
+	return total
+}
+
+// DRAMBytesPerFrame estimates the steady-state DRAM traffic of one
+// inference under concurrency: weights are mostly L2/texture-resident
+// (shared by every stream running the same engine), and fused producer-
+// consumer conv chains keep most activations on chip; bandwidth-hungry
+// layers without that locality (LRN, pooling, copies) pay full price.
+func (e *Engine) DRAMBytesPerFrame() float64 {
+	const (
+		weightResidency = 0.15 // fraction of weights re-fetched per frame
+		convActLocality = 0.08 // conv activations actually crossing DRAM
+		miscLocality    = 0.20 // pooling/LRN/copy traffic surviving the L2
+	)
+	var total float64
+	for _, l := range e.Launches {
+		acts := float64(l.Spec.MemBytes - l.Spec.WeightBytes)
+		switch l.Spec.V.Family {
+		case kernels.FamHMMAConv, kernels.FamWinograd, kernels.FamCUDAConv,
+			kernels.FamGEMM, kernels.FamDepthwise:
+			total += float64(l.Spec.WeightBytes)*weightResidency + acts*convActLocality
+		default:
+			total += acts * miscLocality
+		}
+	}
+	return total
+}
+
+// PerThreadMemBytes is the RAM footprint of one concurrent inference
+// thread: a per-stream base allocation (CUDA stream state, staging
+// buffers) plus a per-kernel workspace binding.
+func (e *Engine) PerThreadMemBytes() float64 {
+	const (
+		perStreamBase    = 112e6
+		perLaunchWorkspc = 2.85e6
+	)
+	return perStreamBase + float64(len(e.Launches))*perLaunchWorkspc
+}
+
+// hostPerFrameSec is the serialized host-side cost per frame: kernel
+// submission for each launch plus fixed pre/post-processing.
+func (e *Engine) hostPerFrameSec(dev *gpusim.Device) float64 {
+	const fixedHost = 2.2e-3
+	return fixedHost + float64(len(e.Launches))*dev.LaunchOverheadSec()
+}
+
+// StreamLoad derives the concurrency-model load of this engine on a
+// device (paper Figures 3-4).
+func (e *Engine) StreamLoad(dev *gpusim.Device) gpusim.StreamLoad {
+	return gpusim.StreamLoad{
+		PerFrameGPUSec:    e.GPUTimeSec(dev),
+		PerFrameHostSec:   e.hostPerFrameSec(dev),
+		PerFrameDRAMBytes: e.DRAMBytesPerFrame(),
+		PerThreadMemBytes: e.PerThreadMemBytes(),
+		LaunchCount:       len(e.Launches),
+	}
+}
+
+// Infer runs the engine numerically on an input tensor, using each
+// layer's selected kernel variant so that accumulation order and rounding
+// match the tuned plan. Only numeric engines (built from proxies with
+// materialized weights) support this.
+func (e *Engine) Infer(x *tensor.Tensor) ([]*tensor.Tensor, error) {
+	if !e.Numeric {
+		return nil, fmt.Errorf("core: engine %s is timing-only (no weights materialized)", e.Key())
+	}
+	g := e.Graph
+	acts := map[string]*tensor.Tensor{}
+	for _, l := range g.Layers {
+		var y *tensor.Tensor
+		var err error
+		switch {
+		case l.Op == graph.OpInput:
+			y = x
+		case l.Op == graph.OpConv:
+			y, err = e.inferConv(l, acts)
+		case l.Op == graph.OpFC:
+			y, err = e.inferFC(l, acts)
+		default:
+			ins := make([]*tensor.Tensor, len(l.Inputs))
+			for i, name := range l.Inputs {
+				ins[i] = acts[name]
+			}
+			y, err = graph.EvalLayer(l, ins)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: infer %s layer %s: %w", e.Key(), l.Name, err)
+		}
+		acts[l.Name] = y
+	}
+	outs := make([]*tensor.Tensor, len(g.Outputs))
+	for i, name := range g.Outputs {
+		outs[i] = acts[name]
+	}
+	return outs, nil
+}
+
+func (e *Engine) inferConv(l *graph.Layer, acts map[string]*tensor.Tensor) (*tensor.Tensor, error) {
+	in := e.quantInput(l.Inputs[0], acts)
+	w, b := l.Weights["w"], l.Weights["b"]
+	if w == nil {
+		return nil, fmt.Errorf("conv %s has no weights", l.Name)
+	}
+	v, ok := e.Choices[l.Name]
+	if !ok {
+		v = kernels.UnoptimizedConv()
+	}
+	f := e.Fusions[l.Name]
+	// The kernel's fused epilogue handles plain ReLU; other activations
+	// are applied after (still one launch — epilogue code).
+	execV := v
+	execV.FusedAct = f.Act == ActReLU
+	y := kernels.ExecConv(execV, in, w, b, l.Conv)
+	return applyEpilogue(y, f), nil
+}
+
+func (e *Engine) inferFC(l *graph.Layer, acts map[string]*tensor.Tensor) (*tensor.Tensor, error) {
+	in := e.quantInput(l.Inputs[0], acts)
+	w, b := l.Weights["w"], l.Weights["b"]
+	if w == nil {
+		return nil, fmt.Errorf("fc %s has no weights", l.Name)
+	}
+	v, ok := e.Choices[l.Name]
+	if !ok {
+		v = kernels.Variant{Family: kernels.FamGEMM, TileM: 128, TileN: 64, TileK: 32, Precision: tensor.FP32}
+	}
+	f := e.Fusions[l.Name]
+	execV := v
+	execV.FusedAct = f.Act == ActReLU
+	y := kernels.ExecFC(execV, in, w, b, l.OutUnits)
+	return applyEpilogue(y, f), nil
+}
+
+// quantInput applies INT8 fake-quantization to a kernel's input
+// activation using the calibrated range of its producer layer.
+func (e *Engine) quantInput(producer string, acts map[string]*tensor.Tensor) *tensor.Tensor {
+	in := acts[producer]
+	if e.Precision != tensor.INT8 || e.Int8Ranges == nil {
+		return in
+	}
+	return fakeQuantActivation(in, e.Int8Ranges[producer])
+}
+
+// applyEpilogue applies non-ReLU fused activations.
+func applyEpilogue(y *tensor.Tensor, f Fusion) *tensor.Tensor {
+	switch f.Act {
+	case ActLeaky:
+		return tensor.LeakyReLU(y, f.LeakyAlpha)
+	case ActSigmoid:
+		return tensor.Sigmoid(y)
+	default:
+		return y
+	}
+}
+
+// --- un-optimized baseline -------------------------------------------------
+
+// UnoptimizedRun prices one inference of the un-optimized model: the
+// training framework's GPU path — FP32 generic kernels, one per layer, no
+// fusion, framework dispatch and synchronization between layers. This is
+// the baseline of the paper's Tables III, IV and VII.
+func UnoptimizedRun(g *graph.Graph, dev *gpusim.Device) float64 {
+	// The framework's direct FP32 kernels reach a small fraction of the
+	// tactic-tuned library's efficiency, and every layer pays a dispatch
+	// + synchronization cost on the host.
+	const (
+		frameworkSlowdown = 4.5
+		perLayerSyncSec   = 1.2e-3
+	)
+	var total float64
+	layers := 0
+	for _, l := range g.Layers {
+		if l.Op == graph.OpInput {
+			continue
+		}
+		layers++
+		switch l.Op {
+		case graph.OpConv:
+			d := convDims(g, l)
+			ls := kernels.PlanConv(kernels.UnoptimizedConv(), d)
+			total += ls.TimeSec(dev) * frameworkSlowdown
+		case graph.OpFC:
+			d := fcDims(g, l)
+			v := kernels.Variant{Family: kernels.FamGEMM, TileM: 128, TileN: 64, TileK: 32, Precision: tensor.FP32}
+			ls := kernels.PlanConv(v, d)
+			total += ls.TimeSec(dev) * frameworkSlowdown
+		default:
+			if ls, ok := simpleLaunch(g, l, tensor.FP32); ok {
+				total += ls.TimeSec(dev) * frameworkSlowdown
+			}
+		}
+	}
+	return total + float64(layers)*perLayerSyncSec
+}
+
+// UnoptimizedInfer runs the un-optimized model numerically: the FP32
+// reference executor on the original (uncompressed, unpruned) graph.
+func UnoptimizedInfer(g *graph.Graph, x *tensor.Tensor) ([]*tensor.Tensor, error) {
+	return g.Execute(x)
+}

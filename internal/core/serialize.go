@@ -1,0 +1,255 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"edgeinfer/internal/graph"
+	"edgeinfer/internal/kernels"
+	"edgeinfer/internal/tensor"
+)
+
+// Engine plan files: a magic tag, a JSON header describing the optimized
+// graph and kernel plan, and a binary weight section. The analogue of a
+// serialized TensorRT engine — and like one, a plan built on one platform
+// can be deserialized and run on another (the paper's cNX_rAGX cases).
+
+const planMagic = "EDGERT01"
+
+// Deserialization limits: plan files are untrusted input, so header and
+// tensor sizes are bounded before allocation (the largest real tensor in
+// the zoo, VGG-16's fc6, is ~103M elements).
+const (
+	maxHeaderBytes = 64 << 20
+	maxRecordBytes = 1 << 20
+	maxTensorElems = 256 << 20
+)
+
+type planHeader struct {
+	ModelName      string
+	Platform       string
+	BuildID        int
+	Precision      tensor.Precision
+	Numeric        bool
+	RemovedLayers  int
+	FusedLayers    int
+	MergedLaunches int
+
+	Framework  string
+	Task       string
+	InputShape [4]int
+	Outputs    []string
+	Layers     []planLayer
+
+	Choices    map[string]kernels.Variant
+	Fusions    map[string]Fusion
+	Int8Ranges map[string]float32 `json:",omitempty"`
+	Launches   []Launch
+}
+
+type planLayer struct {
+	Name     string
+	Op       graph.OpType
+	Inputs   []string
+	Conv     tensor.ConvParams `json:",omitempty"`
+	Pool     tensor.PoolParams `json:",omitempty"`
+	OutUnits int               `json:",omitempty"`
+	Alpha    float32           `json:",omitempty"`
+	LRNSize  int               `json:",omitempty"`
+	LRNBeta  float32           `json:",omitempty"`
+	LRNK     float32           `json:",omitempty"`
+}
+
+type weightRecord struct {
+	Layer string
+	Key   string
+	Shape [4]int
+}
+
+// Save serializes the engine to a writer.
+func (e *Engine) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(planMagic); err != nil {
+		return err
+	}
+	h := planHeader{
+		ModelName: e.ModelName, Platform: e.Platform, BuildID: e.BuildID,
+		Precision: e.Precision, Numeric: e.Numeric,
+		RemovedLayers: e.RemovedLayers, FusedLayers: e.FusedLayers,
+		MergedLaunches: e.MergedLaunches,
+		Framework:      e.Graph.Framework, Task: e.Graph.Task,
+		InputShape: e.Graph.InputShape, Outputs: e.Graph.Outputs,
+		Choices: e.Choices, Fusions: e.Fusions, Launches: e.Launches,
+		Int8Ranges: e.Int8Ranges,
+	}
+	for _, l := range e.Graph.Layers {
+		if l.Op == graph.OpInput {
+			continue
+		}
+		h.Layers = append(h.Layers, planLayer{
+			Name: l.Name, Op: l.Op, Inputs: l.Inputs, Conv: l.Conv, Pool: l.Pool,
+			OutUnits: l.OutUnits, Alpha: l.Alpha, LRNSize: l.LRNSize,
+			LRNBeta: l.LRNBeta, LRNK: l.LRNK,
+		})
+	}
+	hb, err := json.Marshal(h)
+	if err != nil {
+		return fmt.Errorf("core: marshal plan header: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(hb))); err != nil {
+		return err
+	}
+	if _, err := bw.Write(hb); err != nil {
+		return err
+	}
+	// Weight section.
+	var weights []struct {
+		rec weightRecord
+		t   *tensor.Tensor
+	}
+	for _, l := range e.Graph.Layers {
+		for key, t := range l.Weights {
+			if t != nil {
+				weights = append(weights, struct {
+					rec weightRecord
+					t   *tensor.Tensor
+				}{weightRecord{Layer: l.Name, Key: key, Shape: t.Shape()}, t})
+			}
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(weights))); err != nil {
+		return err
+	}
+	for _, wr := range weights {
+		rb, err := json.Marshal(wr.rec)
+		if err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(rb))); err != nil {
+			return err
+		}
+		if _, err := bw.Write(rb); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, wr.t.Data); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load deserializes an engine plan.
+func Load(r io.Reader) (*Engine, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(planMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("core: read plan magic: %w", err)
+	}
+	if string(magic) != planMagic {
+		return nil, fmt.Errorf("core: bad plan magic %q", magic)
+	}
+	var hlen uint32
+	if err := binary.Read(br, binary.LittleEndian, &hlen); err != nil {
+		return nil, err
+	}
+	if hlen > maxHeaderBytes {
+		return nil, fmt.Errorf("core: plan header %d bytes exceeds limit", hlen)
+	}
+	hb := make([]byte, hlen)
+	if _, err := io.ReadFull(br, hb); err != nil {
+		return nil, err
+	}
+	var h planHeader
+	if err := json.Unmarshal(hb, &h); err != nil {
+		return nil, fmt.Errorf("core: unmarshal plan header: %w", err)
+	}
+	g := graph.New(h.ModelName, h.InputShape)
+	g.Framework, g.Task = h.Framework, h.Task
+	for _, pl := range h.Layers {
+		g.Add(&graph.Layer{
+			Name: pl.Name, Op: pl.Op, Inputs: pl.Inputs, Conv: pl.Conv, Pool: pl.Pool,
+			OutUnits: pl.OutUnits, Alpha: pl.Alpha, LRNSize: pl.LRNSize,
+			LRNBeta: pl.LRNBeta, LRNK: pl.LRNK,
+		})
+	}
+	g.Outputs = h.Outputs
+	// Weight section (before Finalize so BN shape checks see weights).
+	var wcount uint32
+	if err := binary.Read(br, binary.LittleEndian, &wcount); err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < wcount; i++ {
+		var rlen uint32
+		if err := binary.Read(br, binary.LittleEndian, &rlen); err != nil {
+			return nil, err
+		}
+		if rlen > maxRecordBytes {
+			return nil, fmt.Errorf("core: weight record %d bytes exceeds limit", rlen)
+		}
+		rb := make([]byte, rlen)
+		if _, err := io.ReadFull(br, rb); err != nil {
+			return nil, err
+		}
+		var rec weightRecord
+		if err := json.Unmarshal(rb, &rec); err != nil {
+			return nil, err
+		}
+		elems := int64(1)
+		for _, d := range rec.Shape {
+			if d < 1 || int64(d) > maxTensorElems {
+				return nil, fmt.Errorf("core: weight shape %v invalid", rec.Shape)
+			}
+			elems *= int64(d)
+			if elems > maxTensorElems {
+				return nil, fmt.Errorf("core: weight shape %v too large", rec.Shape)
+			}
+		}
+		t := tensor.New(rec.Shape[0], rec.Shape[1], rec.Shape[2], rec.Shape[3])
+		if err := binary.Read(br, binary.LittleEndian, t.Data); err != nil {
+			return nil, err
+		}
+		l := g.Layer(rec.Layer)
+		if l == nil {
+			return nil, fmt.Errorf("core: weight for unknown layer %q", rec.Layer)
+		}
+		l.Weights[rec.Key] = t
+	}
+	if err := g.Finalize(); err != nil {
+		return nil, fmt.Errorf("core: finalize loaded plan: %w", err)
+	}
+	return &Engine{
+		ModelName: h.ModelName, Platform: h.Platform, BuildID: h.BuildID,
+		Precision: h.Precision, Numeric: h.Numeric, Graph: g,
+		Choices: h.Choices, Fusions: h.Fusions, Launches: h.Launches,
+		Int8Ranges:    h.Int8Ranges,
+		RemovedLayers: h.RemovedLayers, FusedLayers: h.FusedLayers,
+		MergedLaunches: h.MergedLaunches,
+	}, nil
+}
+
+// SaveFile writes the engine plan to a file path.
+func (e *Engine) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := e.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads an engine plan from a file path.
+func LoadFile(path string) (*Engine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

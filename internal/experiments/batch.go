@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+
+	"edgeinfer/internal/core"
+	"edgeinfer/internal/models"
+)
+
+// Extension experiment: batched engines. The paper times batch-1 engines
+// (the latency-critical edge regime); this sweep shows the classic
+// throughput/latency trade as batch grows — per-launch overheads
+// amortize while per-frame latency climbs.
+
+// BatchRow is one (model, batch) point.
+type BatchRow struct {
+	Model       string
+	Batch       int
+	LatencyMS   float64 // per batch
+	PerFrameMS  float64
+	Throughput  float64 // frames/s
+	SpeedupVsB1 float64
+}
+
+// BatchSweep times batched engines of a model on NX at the latency clock.
+func (l *Lab) BatchSweep(model string, batches []int) []BatchRow {
+	dev := latencyDevice("NX")
+	var out []BatchRow
+	var base float64
+	for _, b := range batches {
+		g, err := models.BuildBatched(model, b)
+		if err != nil {
+			panic(err)
+		}
+		e, err := core.Build(g, core.DefaultConfig(platformSpec("NX"), 1))
+		if err != nil {
+			panic(err)
+		}
+		lat := e.Run(core.RunConfig{Device: dev}).LatencySec
+		perFrame := lat / float64(b)
+		if b == batches[0] {
+			base = perFrame
+		}
+		out = append(out, BatchRow{
+			Model: model, Batch: b,
+			LatencyMS:   lat * 1e3,
+			PerFrameMS:  perFrame * 1e3,
+			Throughput:  1 / perFrame,
+			SpeedupVsB1: base / perFrame,
+		})
+	}
+	return out
+}
+
+// RenderBatchSweep formats the batch extension table.
+func (l *Lab) RenderBatchSweep() string {
+	t := &table{
+		title:  "Extension: batch sweep (resnet18 and googlenet on NX)",
+		header: []string{"NN Model", "Batch", "Latency (ms)", "ms/frame", "FPS", "Throughput vs batch 1"},
+	}
+	for _, model := range []string{"resnet18", "googlenet"} {
+		for _, r := range l.BatchSweep(model, []int{1, 2, 4, 8}) {
+			t.add(r.Model, fmt.Sprintf("%d", r.Batch), f2(r.LatencyMS), f2(r.PerFrameMS),
+				f1(r.Throughput), f2(r.SpeedupVsB1)+"x")
+		}
+	}
+	return t.String()
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"edgeinfer/internal/perfmodel"
+)
+
+// Table17Result captures Table XVII: per-kernel lambdas of three NX
+// engines of inception-v4 and the cross-platform (NX->AGX) prediction
+// error of each.
+type Table17Result struct {
+	Model   string
+	Reports [3]perfmodel.Report
+	// ErrorSpreadPct is max-min prediction error across the engines —
+	// the paper observes a 2-13% change.
+	ErrorSpreadPct float64
+}
+
+// bspTable runs the Table XVII methodology for a model.
+func (l *Lab) bspTable(model string) Table17Result {
+	nx := latencyDevice("NX")
+	agx := latencyDevice("AGX")
+	var res Table17Result
+	res.Model = model
+	lo, hi := 1e18, -1e18
+	for i := 0; i < 3; i++ {
+		e := l.engine(model, "NX", i+1)
+		res.Reports[i] = perfmodel.CrossPredict(e, nx, agx)
+		if res.Reports[i].ErrorPct < lo {
+			lo = res.Reports[i].ErrorPct
+		}
+		if res.Reports[i].ErrorPct > hi {
+			hi = res.Reports[i].ErrorPct
+		}
+	}
+	res.ErrorSpreadPct = hi - lo
+	return res
+}
+
+// Table17 reproduces Table XVII for inception-v4.
+func (l *Lab) Table17() Table17Result { return l.bspTable("inceptionv4") }
+
+// Table18 reproduces Table XVIII for mobilenet-v1.
+func (l *Lab) Table18() Table17Result { return l.bspTable("mobilenetv1") }
+
+// renderBSP formats a BSP prediction table.
+func renderBSP(title string, r Table17Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (model %s, lambdas calibrated on NX, predicting AGX)\n", title, r.Model)
+	// Common lambda rows for the kernels every engine used.
+	common := map[string]bool{}
+	for sym := range r.Reports[0].LambdaBySym {
+		common[sym] = true
+	}
+	for _, rep := range r.Reports[1:] {
+		for sym := range common {
+			if _, ok := rep.LambdaBySym[sym]; !ok {
+				delete(common, sym)
+			}
+		}
+	}
+	var syms []string
+	for sym := range common {
+		syms = append(syms, sym)
+	}
+	sort.Strings(syms)
+	if len(syms) > 6 {
+		syms = syms[:6]
+	}
+	fmt.Fprintf(&b, "%-58s %10s %10s %10s\n", "Kernel (lambda)", "Engine1", "Engine2", "Engine3")
+	for _, sym := range syms {
+		fmt.Fprintf(&b, "%-58s %10.3f %10.3f %10.3f\n", sym,
+			r.Reports[0].LambdaBySym[sym], r.Reports[1].LambdaBySym[sym], r.Reports[2].LambdaBySym[sym])
+	}
+	fmt.Fprintf(&b, "%-58s %9.2f%% %9.2f%% %9.2f%%\n", "Prediction error on AGX",
+		r.Reports[0].ErrorPct, r.Reports[1].ErrorPct, r.Reports[2].ErrorPct)
+	fmt.Fprintf(&b, "Error spread across engines: %.2f%% (paper: 2-13%%)\n", r.ErrorSpreadPct)
+	return b.String()
+}
+
+// RenderTable17 formats Table XVII.
+func (l *Lab) RenderTable17() string { return renderBSP("Table XVII", l.Table17()) }
+
+// RenderTable18 formats Table XVIII.
+func (l *Lab) RenderTable18() string { return renderBSP("Table XVIII", l.Table18()) }

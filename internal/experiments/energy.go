@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+
+	"edgeinfer/internal/core"
+	"edgeinfer/internal/gpusim"
+)
+
+// Extension experiments: energy efficiency and DVFS. tegrastats exposes
+// the power rails the paper collects but does not analyze; these sweeps
+// complete that axis and expose the EMC power-mode coupling (DESIGN §4.4)
+// as a visible kink in the AGX latency/clock curve.
+
+// EnergyRow is one (model, platform) energy-efficiency point at max
+// clocks under saturating concurrency.
+type EnergyRow struct {
+	Model        string
+	Platform     string
+	Threads      int
+	AggregateFPS float64
+	PowerW       float64
+	FPSPerWatt   float64
+}
+
+// EnergyStudy measures frames-per-watt at the saturation thread count.
+func (l *Lab) EnergyStudy() []EnergyRow {
+	var out []EnergyRow
+	for _, m := range []string{"tiny-yolov3", "googlenet", "resnet18"} {
+		for _, p := range []string{"NX", "AGX"} {
+			dev := maxDevice(p)
+			e := l.engine(m, p, 1)
+			load := e.StreamLoad(dev)
+			sat := gpusim.SaturationThreads(dev, load)
+			util := gpusim.GPUUtilization(dev, load, sat)
+			fps := gpusim.ThreadFPS(dev, load, sat)
+			power := dev.PowerW(util)
+			out = append(out, EnergyRow{
+				Model: m, Platform: p, Threads: sat,
+				AggregateFPS: fps, PowerW: power, FPSPerWatt: fps / power,
+			})
+		}
+	}
+	return out
+}
+
+// RenderEnergyStudy formats the energy extension table.
+func (l *Lab) RenderEnergyStudy() string {
+	t := &table{
+		title:  "Extension: energy efficiency at saturating concurrency (max clocks)",
+		header: []string{"NN Model", "Platform", "Threads", "FPS/thread", "Power (W)", "FPS/W"},
+	}
+	for _, r := range l.EnergyStudy() {
+		t.add(r.Model, r.Platform, fmt.Sprintf("%d", r.Threads),
+			f1(r.AggregateFPS), f1(r.PowerW), f2(r.FPSPerWatt))
+	}
+	return t.String()
+}
+
+// ClockRow is one point of the DVFS sweep.
+type ClockRow struct {
+	Platform   string
+	ClockMHz   float64
+	LatencyMS  float64
+	DRAMGBs    float64
+	PowerWBusy float64
+}
+
+// ClockSweep times one engine across GPU clock settings on both
+// platforms. On AGX the EMC follows the power mode, so its latency curve
+// has a visible discontinuity where the memory clock steps down — the
+// root cause of the paper's pinned-clock anomalies made directly visible.
+func (l *Lab) ClockSweep(model string) []ClockRow {
+	var out []ClockRow
+	for _, p := range []string{"NX", "AGX"} {
+		spec := platformSpec(p)
+		e := l.engine(model, p, 1)
+		for _, clk := range []float64{400, 599, 624, 800, 900, 1100, 1377} {
+			if clk > gpusim.PaperMaxClock(spec) {
+				continue
+			}
+			dev := gpusim.NewDevice(spec, clk)
+			lat := e.Run(core.RunConfig{Device: dev}).LatencySec
+			out = append(out, ClockRow{
+				Platform: p, ClockMHz: clk,
+				LatencyMS:  lat * 1e3,
+				DRAMGBs:    dev.DRAMBandwidth() / 1e9,
+				PowerWBusy: dev.PowerW(1),
+			})
+		}
+	}
+	return out
+}
+
+// RenderClockSweep formats the DVFS extension table.
+func (l *Lab) RenderClockSweep() string {
+	t := &table{
+		title:  "Extension: DVFS sweep (pednet kernels, no memcpy) — note the AGX EMC steps",
+		header: []string{"Platform", "GPU MHz", "Latency (ms)", "DRAM GB/s", "Power busy (W)"},
+	}
+	for _, r := range l.ClockSweep("pednet") {
+		t.add(r.Platform, fmt.Sprintf("%.0f", r.ClockMHz), f2(r.LatencyMS), f1(r.DRAMGBs), f1(r.PowerWBusy))
+	}
+	return t.String()
+}

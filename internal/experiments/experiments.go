@@ -1,0 +1,211 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Tables I–XVIII, Figures 3–4) on the simulator. Each
+// generator returns structured results plus a paper-style text rendering;
+// cmd/benchtables drives them, the root benchmarks time them, and
+// EXPERIMENTS.md records their output against the paper's numbers.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"edgeinfer/internal/core"
+	"edgeinfer/internal/dataset"
+	"edgeinfer/internal/gpusim"
+	"edgeinfer/internal/models"
+	"edgeinfer/internal/tensor"
+)
+
+// Options scales the experiments. The paper's full scale (50 benign and
+// 20 adversarial images per class, 10 latency runs) takes minutes in the
+// numeric experiments; the default is a faster, statistically similar
+// configuration.
+type Options struct {
+	BenignPerClass int // paper: 50
+	AdvPerClass    int // paper: 20
+	AdvTypes       []dataset.Corruption
+	Runs           int // latency repetitions, paper: 10
+	EnginesPerSide int // engines per platform in consistency experiments, paper: 3
+}
+
+// Default returns the fast configuration.
+func Default() Options {
+	return Options{BenignPerClass: 10, AdvPerClass: 1, AdvTypes: dataset.Corruptions(), Runs: 10, EnginesPerSide: 3}
+}
+
+// Full returns the paper-scale configuration.
+func Full() Options {
+	return Options{BenignPerClass: 50, AdvPerClass: 20, AdvTypes: dataset.Corruptions(), Runs: 10, EnginesPerSide: 3}
+}
+
+// Lab builds and caches engines, proxies and datasets across experiments.
+type Lab struct {
+	Opts Options
+
+	engines map[string]*core.Engine
+	preds   map[string][]int
+	benign  []dataset.Sample
+	adv     []dataset.AdversarialSample
+}
+
+// NewLab creates a lab with the given options.
+func NewLab(opts Options) *Lab {
+	return &Lab{
+		Opts:    opts,
+		engines: map[string]*core.Engine{},
+		preds:   map[string][]int{},
+	}
+}
+
+// platformSpec maps short names to specs.
+func platformSpec(short string) gpusim.DeviceSpec {
+	if short == "AGX" {
+		return gpusim.XavierAGX()
+	}
+	return gpusim.XavierNX()
+}
+
+// latencyDevice returns the platform at the paper's pinned latency clock.
+func latencyDevice(short string) *gpusim.Device {
+	spec := platformSpec(short)
+	return gpusim.NewDevice(spec, gpusim.PaperLatencyClock(spec))
+}
+
+// maxDevice returns the platform at the paper's max (concurrency) clock.
+func maxDevice(short string) *gpusim.Device {
+	spec := platformSpec(short)
+	return gpusim.NewDevice(spec, gpusim.PaperMaxClock(spec))
+}
+
+// engine builds (or returns cached) a full-scale engine.
+func (l *Lab) engine(model, platform string, build int) *core.Engine {
+	key := fmt.Sprintf("full/%s/%s/%d", model, platform, build)
+	if e, ok := l.engines[key]; ok {
+		return e
+	}
+	g := models.MustBuild(model)
+	e, err := core.Build(g, core.DefaultConfig(platformSpec(platform), build))
+	if err != nil {
+		panic(fmt.Sprintf("experiments: build %s: %v", key, err))
+	}
+	l.engines[key] = e
+	return e
+}
+
+// proxyEngine builds (or returns cached) a numeric proxy engine.
+func (l *Lab) proxyEngine(model, platform string, build int) *core.Engine {
+	key := fmt.Sprintf("proxy/%s/%s/%d", model, platform, build)
+	if e, ok := l.engines[key]; ok {
+		return e
+	}
+	g, err := models.BuildProxy(model, models.DefaultProxyOptions())
+	if err != nil {
+		panic(err)
+	}
+	e, err := core.Build(g, core.DefaultConfig(platformSpec(platform), build))
+	if err != nil {
+		panic(err)
+	}
+	l.engines[key] = e
+	return e
+}
+
+// benignSet lazily synthesizes the benign dataset.
+func (l *Lab) benignSet() []dataset.Sample {
+	if l.benign == nil {
+		l.benign = dataset.Benign(dataset.DefaultBenign(l.Opts.BenignPerClass))
+	}
+	return l.benign
+}
+
+// advSet lazily synthesizes the adversarial dataset.
+func (l *Lab) advSet() []dataset.AdversarialSample {
+	if l.adv == nil {
+		cfg := dataset.DefaultAdversarial(l.Opts.AdvPerClass)
+		cfg.Types = l.Opts.AdvTypes
+		l.adv = dataset.Adversarial(cfg)
+	}
+	return l.adv
+}
+
+// classify runs an engine over images, caching predictions under key.
+func (l *Lab) classify(key string, e *core.Engine, images []*tensor.Tensor) []int {
+	if p, ok := l.preds[key]; ok {
+		return p
+	}
+	out := make([]int, len(images))
+	for i, img := range images {
+		o, err := e.Infer(img)
+		if err != nil {
+			panic(err)
+		}
+		out[i] = o[0].Argmax()
+	}
+	l.preds[key] = out
+	return out
+}
+
+// classifyUnopt runs the un-optimized proxy over images.
+func (l *Lab) classifyUnopt(key, model string, images []*tensor.Tensor) []int {
+	if p, ok := l.preds[key]; ok {
+		return p
+	}
+	g, err := models.BuildProxy(model, models.DefaultProxyOptions())
+	if err != nil {
+		panic(err)
+	}
+	out := make([]int, len(images))
+	for i, img := range images {
+		o, err := core.UnoptimizedInfer(g, img)
+		if err != nil {
+			panic(err)
+		}
+		out[i] = o[0].Argmax()
+	}
+	l.preds[key] = out
+	return out
+}
+
+// table is a minimal text-table renderer for paper-style output.
+type table struct {
+	title  string
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.title)
+	line := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.header)
+	dashes := make([]string, len(widths))
+	for i, w := range widths {
+		dashes[i] = strings.Repeat("-", w)
+	}
+	line(dashes)
+	for _, r := range t.rows {
+		line(r)
+	}
+	return b.String()
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+
+	"edgeinfer/internal/core"
+	"edgeinfer/internal/gpusim"
+)
+
+// Table7Row is one row of Table VII: classification throughput.
+type Table7Row struct {
+	Model                            string
+	NXUnopt, NXTRT, AGXUnopt, AGXTRT float64
+	NXGain, AGXGain                  float64
+}
+
+// Table7 reproduces Table VII: FPS for TensorRT-optimized vs
+// un-optimized engines on both platforms at max clocks.
+func (l *Lab) Table7() []Table7Row {
+	var out []Table7Row
+	for _, m := range classifierModels {
+		g := mustModel(m)
+		row := Table7Row{Model: m}
+		for _, p := range []string{"NX", "AGX"} {
+			dev := maxDevice(p)
+			e := l.engine(m, p, 1)
+			load := e.StreamLoad(dev)
+			trt := 1 / (load.PerFrameGPUSec + load.PerFrameHostSec)
+			unopt := 1 / core.UnoptimizedRun(g, dev)
+			if p == "NX" {
+				row.NXTRT, row.NXUnopt, row.NXGain = trt, unopt, trt/unopt
+			} else {
+				row.AGXTRT, row.AGXUnopt, row.AGXGain = trt, unopt, trt/unopt
+			}
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// RenderTable7 formats Table VII.
+func (l *Lab) RenderTable7() string {
+	t := &table{
+		title:  "Table VII: FPS for TensorRT optimized vs un-optimized engines",
+		header: []string{"NN Model", "NX-Unopt", "NX-TRT", "AGX-Unopt", "AGX-TRT", "NX gain", "AGX gain"},
+	}
+	for _, r := range l.Table7() {
+		t.add(r.Model, f2(r.NXUnopt), f1(r.NXTRT), f2(r.AGXUnopt), f1(r.AGXTRT),
+			f1(r.NXGain)+"x", f1(r.AGXGain)+"x")
+	}
+	return t.String()
+}
+
+// FigureSeries is one platform's curve of Figures 3/4.
+type FigureSeries struct {
+	Platform   string
+	Model      string
+	Points     []gpusim.ConcurrencyPoint
+	Saturation int
+}
+
+// figure sweeps the concurrency model for one CNN on both platforms.
+func (l *Lab) figure(model string) []FigureSeries {
+	var out []FigureSeries
+	for _, p := range []string{"NX", "AGX"} {
+		dev := maxDevice(p)
+		e := l.engine(model, p, 1)
+		load := e.StreamLoad(dev)
+		out = append(out, FigureSeries{
+			Platform:   p,
+			Model:      model,
+			Points:     gpusim.ConcurrencySweep(dev, load),
+			Saturation: gpusim.SaturationThreads(dev, load),
+		})
+	}
+	return out
+}
+
+// Figure3 reproduces Figure 3: Tiny-YOLOv3 FPS and GPU utilization vs
+// thread count on NX and AGX.
+func (l *Lab) Figure3() []FigureSeries { return l.figure("tiny-yolov3") }
+
+// Figure4 reproduces Figure 4 for GoogLeNet.
+func (l *Lab) Figure4() []FigureSeries { return l.figure("googlenet") }
+
+// RenderFigure renders a figure's series as aligned columns (the text
+// form of the paper's plots).
+func RenderFigure(title string, series []FigureSeries) string {
+	s := title + "\n"
+	for _, fs := range series {
+		s += fmt.Sprintf("  %s-%s (saturates at %d threads):\n", fs.Platform, fs.Model, fs.Saturation)
+		s += fmt.Sprintf("    %8s  %14s  %10s\n", "threads", "FPS/thread", "GPU util%")
+		for _, p := range fs.Points {
+			s += fmt.Sprintf("    %8d  %14.1f  %10.1f\n", p.Threads, p.FPSPerThread, p.GPUUtilization)
+		}
+	}
+	return s
+}
+
+// RenderFigure3 formats Figure 3.
+func (l *Lab) RenderFigure3() string {
+	return RenderFigure("Figure 3: Tiny-YOLOv3 concurrency sweep", l.Figure3())
+}
+
+// RenderFigure4 formats Figure 4.
+func (l *Lab) RenderFigure4() string {
+	return RenderFigure("Figure 4: GoogLeNet concurrency sweep", l.Figure4())
+}
+
+// FigureCSV renders a figure's series as CSV (threads, fps, util per
+// platform) for external plotting.
+func FigureCSV(series []FigureSeries) string {
+	s := "platform,model,threads,fps_per_thread,gpu_util_pct\n"
+	for _, fs := range series {
+		for _, p := range fs.Points {
+			s += fmt.Sprintf("%s,%s,%d,%.2f,%.2f\n", fs.Platform, fs.Model, p.Threads, p.FPSPerThread, p.GPUUtilization)
+		}
+	}
+	return s
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+
+	"edgeinfer/internal/gpusim"
+)
+
+// Extension experiment: sustained-load thermal drift. The paper's WCET
+// warnings concern engine rebuilds; thermal throttling is the other way
+// the same engine's latency moves under the operator's feet. tegrastats
+// exposes the thermal fields; this study runs the thermal circuit.
+
+// ThermalRow summarizes one platform's sustained run.
+type ThermalRow struct {
+	Platform        string
+	AmbientC        float64
+	TimeToThrottleS float64 // -1 if never
+	SteadyClockMHz  float64
+	StartFPS        float64
+	SteadyFPS       float64
+	FPSDropPct      float64
+	PeakTempC       float64
+}
+
+// ThermalStudy simulates 20 minutes of saturating Tiny-YOLOv3 service in
+// a 35C roadside cabinet on both platforms.
+func (l *Lab) ThermalStudy() []ThermalRow {
+	const (
+		ambient  = 35.0
+		duration = 1200.0
+		step     = 1.0
+	)
+	var out []ThermalRow
+	for _, p := range []string{"NX", "AGX"} {
+		dev := maxDevice(p)
+		e := l.engine("tiny-yolov3", p, 1)
+		load := e.StreamLoad(dev)
+		sat := gpusim.SaturationThreads(dev, load)
+		util := gpusim.GPUUtilization(dev, load, sat)
+		samples := gpusim.SimulateSustainedLoad(dev, util, ambient, duration, step)
+
+		row := ThermalRow{Platform: p, AmbientC: ambient, TimeToThrottleS: -1}
+		for _, s := range samples {
+			if s.TempC > row.PeakTempC {
+				row.PeakTempC = s.TempC
+			}
+			if s.Throttled && row.TimeToThrottleS < 0 {
+				row.TimeToThrottleS = s.TimeSec
+			}
+		}
+		row.SteadyClockMHz = gpusim.SteadyStateClock(samples)
+		row.StartFPS = gpusim.ThreadFPS(dev, load, sat)
+		// FPS at the throttled clock: GPU time scales inversely with clock.
+		throttledDev := gpusim.NewDevice(platformSpec(p), row.SteadyClockMHz)
+		throttledLoad := e.StreamLoad(throttledDev)
+		row.SteadyFPS = gpusim.ThreadFPS(throttledDev, throttledLoad, sat)
+		if row.StartFPS > 0 {
+			row.FPSDropPct = 100 * (row.StartFPS - row.SteadyFPS) / row.StartFPS
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// RenderThermalStudy formats the thermal extension.
+func (l *Lab) RenderThermalStudy() string {
+	t := &table{
+		title:  "Extension: sustained-load thermal drift (tiny-yolov3 at saturation, 35C cabinet, 20 min)",
+		header: []string{"Platform", "Peak temp (C)", "Throttles after (s)", "Steady clock (MHz)", "FPS start", "FPS steady", "FPS drop"},
+	}
+	for _, r := range l.ThermalStudy() {
+		throttle := "never"
+		if r.TimeToThrottleS >= 0 {
+			throttle = fmt.Sprintf("%.0f", r.TimeToThrottleS)
+		}
+		t.add(r.Platform, f1(r.PeakTempC), throttle, fmt.Sprintf("%.0f", r.SteadyClockMHz),
+			f1(r.StartFPS), f1(r.SteadyFPS), f1(r.FPSDropPct)+"%")
+	}
+	return t.String()
+}

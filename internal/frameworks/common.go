@@ -1,0 +1,165 @@
+package frameworks
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+
+	"edgeinfer/internal/graph"
+	"edgeinfer/internal/tensor"
+)
+
+// rec is the framework-neutral layer record each serializer maps to its
+// own syntax.
+type rec struct {
+	Name     string
+	Op       graph.OpType
+	Inputs   []string
+	Conv     tensor.ConvParams `json:",omitempty"`
+	Pool     tensor.PoolParams `json:",omitempty"`
+	OutUnits int               `json:",omitempty"`
+	Alpha    float32           `json:",omitempty"`
+	LRNSize  int               `json:",omitempty"`
+	LRNBeta  float32           `json:",omitempty"`
+	LRNK     float32           `json:",omitempty"`
+}
+
+// header carries graph-level metadata all formats need.
+type header struct {
+	Name       string
+	Task       string
+	InputShape [4]int
+	Outputs    []string
+}
+
+func toRecs(g *graph.Graph) (header, []rec) {
+	h := header{Name: g.Name, Task: g.Task, InputShape: g.InputShape, Outputs: g.Outputs}
+	var rs []rec
+	for _, l := range g.Layers {
+		if l.Op == graph.OpInput {
+			continue
+		}
+		rs = append(rs, rec{
+			Name: l.Name, Op: l.Op, Inputs: l.Inputs, Conv: l.Conv, Pool: l.Pool,
+			OutUnits: l.OutUnits, Alpha: l.Alpha, LRNSize: l.LRNSize,
+			LRNBeta: l.LRNBeta, LRNK: l.LRNK,
+		})
+	}
+	return h, rs
+}
+
+func fromRecs(h header, rs []rec) (*graph.Graph, error) {
+	for i := range h.InputShape {
+		if h.InputShape[i] < 1 {
+			return nil, fmt.Errorf("frameworks: invalid input shape %v", h.InputShape)
+		}
+	}
+	if h.Name == "" {
+		h.Name = "imported"
+	}
+	g := graph.New(h.Name, h.InputShape)
+	g.Task = h.Task
+	seen := map[string]bool{"data": true}
+	for _, r := range rs {
+		if r.Name == "" {
+			return nil, fmt.Errorf("frameworks: layer with no name")
+		}
+		if seen[r.Name] {
+			return nil, fmt.Errorf("frameworks: duplicate layer %q", r.Name)
+		}
+		if len(r.Inputs) == 0 {
+			return nil, fmt.Errorf("frameworks: layer %q has no inputs", r.Name)
+		}
+		for _, in := range r.Inputs {
+			if !seen[in] {
+				return nil, fmt.Errorf("frameworks: layer %q references unknown input %q", r.Name, in)
+			}
+		}
+		g.Add(&graph.Layer{
+			Name: r.Name, Op: r.Op, Inputs: r.Inputs, Conv: r.Conv, Pool: r.Pool,
+			OutUnits: r.OutUnits, Alpha: r.Alpha, LRNSize: r.LRNSize,
+			LRNBeta: r.LRNBeta, LRNK: r.LRNK,
+		})
+		seen[r.Name] = true
+	}
+	g.Outputs = h.Outputs
+	return g, nil
+}
+
+// weightEntry indexes one tensor in the binary weight payload.
+type weightEntry struct {
+	Layer string
+	Key   string
+	Shape [4]int
+}
+
+// encodeWeights serializes all materialized weights: a JSON index
+// followed by raw little-endian float32 data.
+func encodeWeights(g *graph.Graph) ([]byte, error) {
+	var idx []weightEntry
+	var blob bytes.Buffer
+	for _, l := range g.Layers {
+		for key, t := range l.Weights {
+			if t == nil {
+				continue
+			}
+			idx = append(idx, weightEntry{Layer: l.Name, Key: key, Shape: t.Shape()})
+			if err := binary.Write(&blob, binary.LittleEndian, t.Data); err != nil {
+				return nil, err
+			}
+		}
+	}
+	ib, err := json.Marshal(idx)
+	if err != nil {
+		return nil, err
+	}
+	var out bytes.Buffer
+	if err := binary.Write(&out, binary.LittleEndian, uint32(len(ib))); err != nil {
+		return nil, err
+	}
+	out.Write(ib)
+	out.Write(blob.Bytes())
+	return out.Bytes(), nil
+}
+
+// decodeWeights attaches a weight payload produced by encodeWeights.
+func decodeWeights(g *graph.Graph, payload []byte) error {
+	if len(payload) == 0 {
+		return nil
+	}
+	if len(payload) < 4 {
+		return fmt.Errorf("frameworks: truncated weight payload")
+	}
+	ilen := binary.LittleEndian.Uint32(payload)
+	if int(4+ilen) > len(payload) {
+		return fmt.Errorf("frameworks: corrupt weight index")
+	}
+	var idx []weightEntry
+	if err := json.Unmarshal(payload[4:4+ilen], &idx); err != nil {
+		return err
+	}
+	r := bytes.NewReader(payload[4+ilen:])
+	for _, e := range idx {
+		l := g.Layer(e.Layer)
+		if l == nil {
+			return fmt.Errorf("frameworks: weights for unknown layer %q", e.Layer)
+		}
+		elems := int64(1)
+		for _, d := range e.Shape {
+			if d < 1 {
+				return fmt.Errorf("frameworks: weight shape %v invalid", e.Shape)
+			}
+			elems *= int64(d)
+		}
+		if elems*4 > int64(len(payload)) {
+			return fmt.Errorf("frameworks: weight shape %v exceeds payload", e.Shape)
+		}
+		t := tensor.New(e.Shape[0], e.Shape[1], e.Shape[2], e.Shape[3])
+		if err := binary.Read(r, binary.LittleEndian, t.Data); err != nil {
+			return fmt.Errorf("frameworks: weight data for %s/%s: %w", e.Layer, e.Key, err)
+		}
+		l.Weights[e.Key] = t
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+// Package frameworks implements serialized model formats in the style of
+// the four training frameworks the paper's model zoo spans — Caffe
+// (prototxt + binary blobs), TensorFlow (graph-def), Darknet (cfg +
+// weights) and PyTorch (state-dict manifest) — together with importers
+// that parse them back into the common graph IR. The inference-engine
+// builder consumes any of them, mirroring TensorRT's claim of supporting
+// the most input frameworks (paper §I, point 2).
+package frameworks
+
+import (
+	"fmt"
+
+	"edgeinfer/internal/graph"
+)
+
+// Format identifies a model serialization format.
+type Format string
+
+const (
+	Caffe      Format = "caffe"
+	TensorFlow Format = "tensorflow"
+	Darknet    Format = "darknet"
+	PyTorch    Format = "pytorch"
+)
+
+// Model is a serialized network: a text/JSON architecture description
+// plus a binary weight payload (empty for timing-only graphs).
+type Model struct {
+	Format  Format
+	Arch    []byte // prototxt / graphdef / cfg / manifest
+	Weights []byte
+}
+
+// Export serializes a graph in the given framework's format.
+func Export(g *graph.Graph, f Format) (Model, error) {
+	switch f {
+	case Caffe:
+		return exportCaffe(g)
+	case TensorFlow:
+		return exportTF(g)
+	case Darknet:
+		return exportDarknet(g)
+	case PyTorch:
+		return exportPyTorch(g)
+	default:
+		return Model{}, fmt.Errorf("frameworks: unknown format %q", f)
+	}
+}
+
+// Import parses a serialized model back into the graph IR. The returned
+// graph is finalized. Malformed input of any shape yields an error, not
+// a panic: arch text is untrusted data.
+func Import(m Model) (g *graph.Graph, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			g, err = nil, fmt.Errorf("frameworks: malformed %s model: %v", m.Format, r)
+		}
+	}()
+	switch m.Format {
+	case Caffe:
+		g, err = importCaffe(m)
+	case TensorFlow:
+		g, err = importTF(m)
+	case Darknet:
+		g, err = importDarknet(m)
+	case PyTorch:
+		g, err = importPyTorch(m)
+	default:
+		return nil, fmt.Errorf("frameworks: unknown format %q", m.Format)
+	}
+	if err != nil {
+		return nil, err
+	}
+	g.Framework = string(m.Format)
+	if err := g.Finalize(); err != nil {
+		return nil, fmt.Errorf("frameworks: imported graph invalid: %w", err)
+	}
+	if len(g.Layers) < 2 || len(g.Outputs) == 0 {
+		return nil, fmt.Errorf("frameworks: imported %s model is empty", m.Format)
+	}
+	return g, nil
+}
+
+// Native returns the framework format a zoo graph was trained in.
+func Native(g *graph.Graph) Format {
+	switch g.Framework {
+	case "tensorflow":
+		return TensorFlow
+	case "darknet":
+		return Darknet
+	case "pytorch":
+		return PyTorch
+	default:
+		return Caffe
+	}
+}

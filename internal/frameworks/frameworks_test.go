@@ -1,0 +1,176 @@
+package frameworks
+
+import (
+	"testing"
+
+	"edgeinfer/internal/dataset"
+	"edgeinfer/internal/graph"
+	"edgeinfer/internal/models"
+	"edgeinfer/internal/tensor"
+)
+
+// sameStructure compares two finalized graphs layer by layer.
+func sameStructure(t *testing.T, a, b *graph.Graph) {
+	t.Helper()
+	if len(a.Layers) != len(b.Layers) {
+		t.Fatalf("layer count %d vs %d", len(a.Layers), len(b.Layers))
+	}
+	for i, la := range a.Layers {
+		lb := b.Layers[i]
+		if la.Name != lb.Name || la.Op != lb.Op {
+			t.Fatalf("layer %d: %s(%v) vs %s(%v)", i, la.Name, la.Op, lb.Name, lb.Op)
+		}
+		if la.OutShape != lb.OutShape {
+			t.Fatalf("layer %s shape %v vs %v", la.Name, la.OutShape, lb.OutShape)
+		}
+	}
+	if len(a.Outputs) != len(b.Outputs) {
+		t.Fatalf("outputs %v vs %v", a.Outputs, b.Outputs)
+	}
+}
+
+func TestRoundTripAllFormatsAllModels(t *testing.T) {
+	formats := []Format{Caffe, TensorFlow, Darknet, PyTorch}
+	for _, name := range models.List() {
+		g := models.MustBuild(name)
+		for _, f := range formats {
+			m, err := Export(g, f)
+			if err != nil {
+				t.Errorf("%s -> %s: export: %v", name, f, err)
+				continue
+			}
+			back, err := Import(m)
+			if err != nil {
+				t.Errorf("%s -> %s: import: %v", name, f, err)
+				continue
+			}
+			sameStructure(t, g, back)
+			if back.TotalParams() != g.TotalParams() {
+				t.Errorf("%s -> %s: params %d vs %d", name, f, back.TotalParams(), g.TotalParams())
+			}
+		}
+	}
+}
+
+func TestNativeFormat(t *testing.T) {
+	cases := map[string]Format{
+		"alexnet": Caffe, "tiny-yolov3": Darknet,
+		"mobilenetv1": TensorFlow, "fcn-resnet18-cityscapes": PyTorch,
+	}
+	for name, want := range cases {
+		g := models.MustBuild(name)
+		if got := Native(g); got != want {
+			t.Errorf("%s native format %s, want %s", name, got, want)
+		}
+	}
+}
+
+func TestWeightsSurviveRoundTrip(t *testing.T) {
+	g, err := models.BuildProxy("resnet18", models.DefaultProxyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []Format{Caffe, TensorFlow, Darknet, PyTorch} {
+		m, err := Export(g, f)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if len(m.Weights) == 0 {
+			t.Fatalf("%s: no weights serialized", f)
+		}
+		back, err := Import(m)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		// Numeric equivalence on a real image.
+		img := dataset.Benign(dataset.BenignConfig{Seed: "rt", Classes: 2, PerClass: 1, NoiseSigma: 1})[0].Image
+		o1, err := g.Execute(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o2, err := back.Execute(img)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		for i := range o1[0].Data {
+			if o1[0].Data[i] != o2[0].Data[i] {
+				t.Fatalf("%s: outputs differ after round trip", f)
+			}
+		}
+	}
+}
+
+func TestImportRejectsGarbage(t *testing.T) {
+	for _, f := range []Format{Caffe, TensorFlow, Darknet, PyTorch} {
+		if _, err := Import(Model{Format: f, Arch: []byte("{broken")}); err == nil {
+			// caffe/darknet text parsers may tolerate noise but must fail
+			// to finalize a usable graph
+			t.Errorf("%s: garbage arch accepted", f)
+		}
+	}
+	if _, err := Import(Model{Format: "onnx"}); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+	if _, err := Export(models.MustBuild("alexnet"), "onnx"); err == nil {
+		t.Fatal("unknown export format accepted")
+	}
+}
+
+func TestCaffeProtoTxtLooksRight(t *testing.T) {
+	g := models.MustBuild("alexnet")
+	m, err := Export(g, Caffe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txt := string(m.Arch)
+	for _, want := range []string{`type: "Convolution"`, `type: "LRN"`, "num_output: 96", "group: 2"} {
+		if !contains(txt, want) {
+			t.Errorf("prototxt missing %q", want)
+		}
+	}
+}
+
+func TestDarknetCfgLooksRight(t *testing.T) {
+	g := models.MustBuild("tiny-yolov3")
+	m, err := Export(g, Darknet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := string(m.Arch)
+	for _, want := range []string{"[net]", "[convolutional]", "[maxpool]", "[route]", "[upsample]", "filters=255"} {
+		if !contains(cfg, want) {
+			t.Errorf("cfg missing %q", want)
+		}
+	}
+}
+
+func TestCorruptWeightPayloadRejected(t *testing.T) {
+	g, _ := models.BuildProxy("vgg16", models.DefaultProxyOptions())
+	m, err := Export(g, TensorFlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Weights = m.Weights[:len(m.Weights)/2]
+	if _, err := Import(m); err == nil {
+		t.Fatal("truncated weights accepted")
+	}
+	short := Model{Format: TensorFlow, Arch: m.Arch, Weights: []byte{1, 2}}
+	if _, err := Import(short); err == nil {
+		t.Fatal("tiny weight payload accepted")
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+var _ = tensor.FP32 // keep the import for future weight-precision tests

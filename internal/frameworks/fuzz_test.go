@@ -1,0 +1,49 @@
+package frameworks
+
+import (
+	"testing"
+
+	"edgeinfer/internal/models"
+)
+
+// FuzzImportCaffe mutates prototxt text: the parser must error or
+// produce a finalized graph, never panic.
+func FuzzImportCaffe(f *testing.F) {
+	m, err := Export(models.MustBuild("alexnet"), Caffe)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(string(m.Arch))
+	f.Add("layer {")
+	f.Add(`layer { name: "x" type: "Convolution" bottom: "data" top: "x" }`)
+	f.Add("")
+	f.Fuzz(func(t *testing.T, arch string) {
+		if len(arch) > 1<<20 {
+			t.Skip()
+		}
+		g, err := Import(Model{Format: Caffe, Arch: []byte(arch)})
+		if err == nil && !g.Finalized() {
+			t.Fatal("unfinalized graph returned without error")
+		}
+	})
+}
+
+// FuzzImportDarknet mutates cfg text with the same contract.
+func FuzzImportDarknet(f *testing.F) {
+	m, err := Export(models.MustBuild("tiny-yolov3"), Darknet)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(string(m.Arch))
+	f.Add("[net]\nbatch=1\n[convolutional]\nfilters=8\nsize=3\nstride=1\npad=1")
+	f.Add("[route]\nlayers=-5")
+	f.Fuzz(func(t *testing.T, arch string) {
+		if len(arch) > 1<<20 {
+			t.Skip()
+		}
+		g, err := Import(Model{Format: Darknet, Arch: []byte(arch)})
+		if err == nil && !g.Finalized() {
+			t.Fatal("unfinalized graph returned without error")
+		}
+	})
+}

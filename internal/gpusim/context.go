@@ -1,0 +1,53 @@
+package gpusim
+
+// Context is a CUDA-context-like container: a virtual address space on
+// one device holding any number of streams. The paper's concurrency
+// methodology binds many streams to a single context so that all threads
+// share one copy of the model weights; the example applications use this
+// API to replay that setup on the simulator.
+type Context struct {
+	Device  *Device
+	streams []*Stream
+}
+
+// NewContext creates a context on the device.
+func NewContext(d *Device) *Context {
+	return &Context{Device: d}
+}
+
+// NewStream creates a stream bound to the context.
+func (c *Context) NewStream() *Stream {
+	s := &Stream{ctx: c}
+	c.streams = append(c.streams, s)
+	return s
+}
+
+// Streams returns the streams created on this context.
+func (c *Context) Streams() []*Stream { return c.streams }
+
+// Stream is an in-order execution queue on a device timeline. Work items
+// enqueued on the same stream serialize; items on different streams
+// overlap (the simulator models contention at the aggregate level via
+// StreamLoad, so per-item overlap here is free).
+type Stream struct {
+	ctx       *Context
+	busyUntil float64 // seconds on the context timeline
+}
+
+// Enqueue schedules a work item that becomes ready at readySec and runs
+// for durSec, returning its completion time. Items on one stream execute
+// in FIFO order.
+func (s *Stream) Enqueue(readySec, durSec float64) float64 {
+	start := readySec
+	if s.busyUntil > start {
+		start = s.busyUntil
+	}
+	s.busyUntil = start + durSec
+	return s.busyUntil
+}
+
+// BusyUntil returns the stream's current completion horizon.
+func (s *Stream) BusyUntil() float64 { return s.busyUntil }
+
+// Reset clears the stream timeline.
+func (s *Stream) Reset() { s.busyUntil = 0 }

@@ -1,0 +1,48 @@
+package gpusim_test
+
+import (
+	"fmt"
+
+	"edgeinfer/internal/gpusim"
+)
+
+// The two evaluation platforms of the paper's Table I.
+func ExamplePlatforms() {
+	for _, spec := range gpusim.Platforms() {
+		fmt.Printf("%s: %d CUDA cores on %d SMs, %dGB @ %.1fGB/s\n",
+			spec.Short(), spec.CUDACores, spec.SMs, spec.MemGB, spec.MemBWGBs)
+	}
+	// Output:
+	// NX: 384 CUDA cores on 6 SMs, 8GB @ 51.2GB/s
+	// AGX: 512 CUDA cores on 8 SMs, 32GB @ 137.0GB/s
+}
+
+// Both platforms share one 512 KB L2, so the per-SM share is smaller on
+// AGX: working sets between the two shares thrash on AGX only — the
+// simulator's root cause for kernels running slower on the bigger board.
+func ExampleDevice_L2ContentionFactor() {
+	nx := gpusim.NewDevice(gpusim.XavierNX(), 599)
+	agx := gpusim.NewDevice(gpusim.XavierAGX(), 624)
+	const ws = 73 * 1024 // a 256x64 HMMA tile's working set
+	fmt.Printf("NX penalty:  %.2fx\n", nx.L2ContentionFactor(ws))
+	fmt.Printf("AGX penalty: %.2fx\n", agx.L2ContentionFactor(ws))
+	// Output:
+	// NX penalty:  1.00x
+	// AGX penalty: 1.49x
+}
+
+// Pinning the AGX GPU clock (as the paper's latency study does) lands in
+// an nvpmodel power mode that also downclocks the memory controller —
+// below even the NX's full-rate bandwidth.
+func ExampleDevice_DRAMBandwidth() {
+	nx := gpusim.NewDevice(gpusim.XavierNX(), 599)
+	agxPinned := gpusim.NewDevice(gpusim.XavierAGX(), 624)
+	agxMax := gpusim.NewDevice(gpusim.XavierAGX(), 1377)
+	fmt.Printf("NX  @599:  %.1f GB/s\n", nx.DRAMBandwidth()/1e9)
+	fmt.Printf("AGX @624:  %.1f GB/s\n", agxPinned.DRAMBandwidth()/1e9)
+	fmt.Printf("AGX @1377: %.1f GB/s\n", agxMax.DRAMBandwidth()/1e9)
+	// Output:
+	// NX  @599:  51.2 GB/s
+	// AGX @624:  38.4 GB/s
+	// AGX @1377: 137.0 GB/s
+}

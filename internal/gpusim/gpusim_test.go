@@ -1,0 +1,422 @@
+package gpusim
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpecsMatchTable1(t *testing.T) {
+	nx, agx := XavierNX(), XavierAGX()
+	if nx.CUDACores != 384 || nx.SMs != 6 || nx.TensorCores != 48 {
+		t.Fatalf("NX GPU spec wrong: %+v", nx)
+	}
+	if agx.CUDACores != 512 || agx.SMs != 8 || agx.TensorCores != 64 {
+		t.Fatalf("AGX GPU spec wrong: %+v", agx)
+	}
+	if nx.CUDACores/nx.SMs != 64 || agx.CUDACores/agx.SMs != 64 {
+		t.Fatal("cores per SM must be 64 on both (Volta)")
+	}
+	if nx.L2KB != agx.L2KB {
+		t.Fatal("both platforms share the same 512KB L2 per Table I")
+	}
+	if nx.MemBWGBs != 51.2 || agx.MemBWGBs != 137 {
+		t.Fatal("memory bandwidths wrong")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"NX", "nx", "Xavier NX"} {
+		s, err := ByName(name)
+		if err != nil || s.Short() != "NX" {
+			t.Fatalf("ByName(%q) = %v, %v", name, s.Short(), err)
+		}
+	}
+	if _, err := ByName("TX2"); err == nil {
+		t.Fatal("unknown platform accepted")
+	}
+}
+
+func TestDeviceQueryRendering(t *testing.T) {
+	q := XavierNX().DeviceQuery()
+	for _, want := range []string{"384", "Tensor Cores", "512KB", "LPDDR4x"} {
+		if !strings.Contains(q, want) {
+			t.Errorf("deviceQuery output missing %q", want)
+		}
+	}
+}
+
+func TestPeakFLOPS(t *testing.T) {
+	d := NewDevice(XavierNX(), 1100)
+	cuda := d.PeakFLOPS(false)
+	tc := d.PeakFLOPS(true)
+	if math.Abs(cuda-384*2*1100e6) > 1 {
+		t.Fatalf("cuda peak %v", cuda)
+	}
+	if tc <= cuda*5 {
+		t.Fatalf("tensor-core peak should dominate: %v vs %v", tc, cuda)
+	}
+}
+
+func TestPeakScalesWithClock(t *testing.T) {
+	lo := NewDevice(XavierNX(), 599)
+	hi := NewDevice(XavierNX(), 1198)
+	if math.Abs(hi.PeakFLOPS(false)/lo.PeakFLOPS(false)-2) > 1e-9 {
+		t.Fatal("peak FLOPS must scale linearly with clock")
+	}
+	if lo.DRAMBandwidth() != hi.DRAMBandwidth() {
+		t.Fatal("DRAM bandwidth must not scale with GPU clock")
+	}
+}
+
+func TestZeroClockDefaultsToMax(t *testing.T) {
+	d := NewDevice(XavierNX(), 0)
+	if d.ClockMHz != 1100 {
+		t.Fatalf("default clock %v", d.ClockMHz)
+	}
+}
+
+func TestWaves(t *testing.T) {
+	d := NewDevice(XavierNX(), 0) // 6 SMs
+	cases := []struct{ blocks, want int }{{0, 0}, {1, 1}, {6, 1}, {7, 2}, {12, 2}, {13, 3}}
+	for _, c := range cases {
+		if got := d.Waves(c.blocks); got != c.want {
+			t.Errorf("Waves(%d)=%d want %d", c.blocks, got, c.want)
+		}
+	}
+}
+
+func TestWaveEfficiencyAsymmetry(t *testing.T) {
+	nx := NewDevice(XavierNX(), 0)
+	agx := NewDevice(XavierAGX(), 0)
+	// A 12-block grid (tuned for 6 SMs) is perfect on NX, wasteful on AGX.
+	if e := nx.WaveEfficiency(12); e != 1.0 {
+		t.Fatalf("NX efficiency for 12 blocks = %v", e)
+	}
+	if e := agx.WaveEfficiency(12); e != 0.75 {
+		t.Fatalf("AGX efficiency for 12 blocks = %v", e)
+	}
+	// And vice versa for a 16-block grid.
+	if e := agx.WaveEfficiency(16); e != 1.0 {
+		t.Fatalf("AGX efficiency for 16 blocks = %v", e)
+	}
+	if nx.WaveEfficiency(16) >= 1.0 {
+		t.Fatal("NX should be inefficient on 16 blocks")
+	}
+}
+
+func TestL2ContentionWindow(t *testing.T) {
+	nx := NewDevice(XavierNX(), 0)   // share = 512/6 = 85.3KB
+	agx := NewDevice(XavierAGX(), 0) // share = 512/8 = 64KB
+	ws := int64(73 * 1024)           // the h884cudnn 256x64 tile footprint
+	if f := nx.L2ContentionFactor(ws); f != 1 {
+		t.Fatalf("NX should fit 73KB in its L2 share: factor %v", f)
+	}
+	if f := agx.L2ContentionFactor(ws); f <= 1 {
+		t.Fatalf("AGX should thrash on 73KB: factor %v", f)
+	}
+	// Small working sets are free everywhere.
+	if nx.L2ContentionFactor(24*1024) != 1 || agx.L2ContentionFactor(24*1024) != 1 {
+		t.Fatal("small working sets must not be penalized")
+	}
+}
+
+func TestL2ContentionMonotone(t *testing.T) {
+	d := NewDevice(XavierAGX(), 0)
+	if err := quick.Check(func(a, b uint32) bool {
+		x, y := int64(a%512)*1024, int64(b%512)*1024
+		if x > y {
+			x, y = y, x
+		}
+		return d.L2ContentionFactor(x) <= d.L2ContentionFactor(y)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemcpyModel(t *testing.T) {
+	nx := NewDevice(XavierNX(), 0)
+	agx := NewDevice(XavierAGX(), 0)
+	// Few large chunks: AGX's bandwidth-parity makes it comparable.
+	big := int64(120e6)
+	if nx.MemcpyH2DSec(big, 16) < 0.04 {
+		t.Fatal("120MB copy should take tens of ms")
+	}
+	// Many small chunks: AGX pays more setup and falls behind NX.
+	smallNX := nx.MemcpyH2DSec(80e6, 320)
+	smallAGX := agx.MemcpyH2DSec(80e6, 320)
+	if smallAGX <= smallNX {
+		t.Fatalf("many-chunk copy should be slower on AGX: NX %v AGX %v", smallNX, smallAGX)
+	}
+}
+
+func TestMemcpyMonotoneInBytesAndChunks(t *testing.T) {
+	d := NewDevice(XavierNX(), 0)
+	if err := quick.Check(func(b1, b2 uint32, c1, c2 uint16) bool {
+		x, y := int64(b1), int64(b2)
+		if x > y {
+			x, y = y, x
+		}
+		if d.MemcpyH2DSec(x, 10) > d.MemcpyH2DSec(y, 10) {
+			return false
+		}
+		ca, cb := int(c1%1000)+1, int(c2%1000)+1
+		if ca > cb {
+			ca, cb = cb, ca
+		}
+		return d.MemcpyH2DSec(1e6, ca) <= d.MemcpyH2DSec(1e6, cb)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaperClocks(t *testing.T) {
+	if PaperLatencyClock(XavierNX()) != 599 || PaperLatencyClock(XavierAGX()) != 624 {
+		t.Fatal("latency-study clocks wrong")
+	}
+	if PaperMaxClock(XavierNX()) != 1109.25 || PaperMaxClock(XavierAGX()) != 1377 {
+		t.Fatal("max clocks wrong")
+	}
+}
+
+func TestUtilizationRisesAndSaturates(t *testing.T) {
+	d := NewDevice(XavierNX(), PaperMaxClock(XavierNX()))
+	l := StreamLoad{PerFrameGPUSec: 3.3e-3, PerFrameHostSec: 2e-3, PerFrameDRAMBytes: 9e6}
+	u1 := GPUUtilization(d, l, 1)
+	u28 := GPUUtilization(d, l, 28)
+	if u1 >= u28 {
+		t.Fatalf("utilization must rise with threads: %v -> %v", u1, u28)
+	}
+	if u28 > utilCeiling(d) {
+		t.Fatalf("utilization exceeded ceiling: %v", u28)
+	}
+	if u1 < 0.5 || u1 > 0.7 {
+		t.Logf("u1=%v (informational)", u1)
+	}
+}
+
+func TestUtilCeilingOrdering(t *testing.T) {
+	nx := NewDevice(XavierNX(), 0)
+	agx := NewDevice(XavierAGX(), 0)
+	if utilCeiling(nx) >= utilCeiling(agx) {
+		t.Fatal("AGX should reach a higher utilization ceiling (paper: 82% vs 86%)")
+	}
+}
+
+func TestThreadFPSStableThenDegrades(t *testing.T) {
+	d := NewDevice(XavierNX(), PaperMaxClock(XavierNX()))
+	l := StreamLoad{PerFrameGPUSec: 3.3e-3, PerFrameHostSec: 2e-3, PerFrameDRAMBytes: 9e6}
+	sat := SaturationThreads(d, l)
+	if sat < 2 {
+		t.Fatalf("saturation %d too small", sat)
+	}
+	fps1 := ThreadFPS(d, l, 1)
+	fpsSat := ThreadFPS(d, l, sat)
+	if fpsSat < fps1 {
+		t.Fatalf("per-thread FPS should not drop before saturation: %v -> %v", fps1, fpsSat)
+	}
+	fpsOver := ThreadFPS(d, l, sat*2)
+	if fpsOver >= fpsSat {
+		t.Fatal("oversubscription should reduce per-thread FPS")
+	}
+}
+
+func TestSaturationScalesWithBandwidth(t *testing.T) {
+	l := StreamLoad{PerFrameGPUSec: 2e-3, PerFrameHostSec: 2e-3, PerFrameDRAMBytes: 9e6}
+	nx := NewDevice(XavierNX(), 1100)
+	agx := NewDevice(XavierAGX(), 1100)
+	if SaturationThreads(nx, l) >= SaturationThreads(agx, l) {
+		t.Fatal("AGX should sustain more threads at equal per-thread load")
+	}
+}
+
+func TestMaxConcurrentThreadsEq1(t *testing.T) {
+	d := NewDevice(XavierNX(), 0)
+	// Bth = 1.83 GB/s -> N = 51.2/1.83 = 27.9 -> 27
+	n := d.MaxConcurrentThreads(1.83e9)
+	if n != 27 {
+		t.Fatalf("Eq(1) bound = %d, want 27", n)
+	}
+	if d.MaxConcurrentThreads(0) != math.MaxInt32 {
+		t.Fatal("zero demand should be unbounded")
+	}
+}
+
+func TestConcurrencySweepShape(t *testing.T) {
+	d := NewDevice(XavierNX(), PaperMaxClock(XavierNX()))
+	l := StreamLoad{PerFrameGPUSec: 3.3e-3, PerFrameHostSec: 1.9e-3, PerFrameDRAMBytes: 9.3e6}
+	pts := ConcurrencySweep(d, l)
+	if len(pts) < 3 {
+		t.Fatalf("sweep too short: %d points", len(pts))
+	}
+	if pts[0].Threads != 1 {
+		t.Fatal("sweep must start at 1 thread")
+	}
+	last := pts[len(pts)-1]
+	if last.Threads != SaturationThreads(d, l) {
+		t.Fatal("sweep must end at the saturation point")
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].GPUUtilization < pts[i-1].GPUUtilization {
+			t.Fatal("utilization must be non-decreasing across the sweep")
+		}
+	}
+}
+
+func TestStreamsSerializeInOrder(t *testing.T) {
+	ctx := NewContext(NewDevice(XavierNX(), 0))
+	s := ctx.NewStream()
+	c1 := s.Enqueue(0, 0.010)
+	c2 := s.Enqueue(0.001, 0.010) // ready early but must wait
+	if c1 != 0.010 || c2 != 0.020 {
+		t.Fatalf("stream serialization wrong: %v %v", c1, c2)
+	}
+	s.Reset()
+	if s.BusyUntil() != 0 {
+		t.Fatal("reset failed")
+	}
+	if len(ctx.Streams()) != 1 {
+		t.Fatal("stream registry wrong")
+	}
+}
+
+func TestStreamsOverlapAcrossStreams(t *testing.T) {
+	ctx := NewContext(NewDevice(XavierAGX(), 0))
+	a, b := ctx.NewStream(), ctx.NewStream()
+	ca := a.Enqueue(0, 0.010)
+	cb := b.Enqueue(0, 0.010)
+	if ca != cb {
+		t.Fatal("independent streams should overlap fully in this model")
+	}
+}
+
+func TestPowerModel(t *testing.T) {
+	nx := NewDevice(XavierNX(), PaperMaxClock(XavierNX()))
+	agx := NewDevice(XavierAGX(), PaperMaxClock(XavierAGX()))
+	// Idle draws less than busy; AGX envelope exceeds NX's.
+	if nx.PowerW(0) >= nx.PowerW(1) {
+		t.Fatal("busy should draw more than idle")
+	}
+	if agx.PowerW(1) <= nx.PowerW(1) {
+		t.Fatal("AGX peak power should exceed NX's")
+	}
+	// Envelope sanity: NX module is a 10-20W part, AGX 10-65W.
+	if p := nx.PowerW(1); p < 8 || p > 20 {
+		t.Fatalf("NX peak power %.1fW outside envelope", p)
+	}
+	if p := agx.PowerW(1); p < 20 || p > 65 {
+		t.Fatalf("AGX peak power %.1fW outside envelope", p)
+	}
+	// DVFS: pinning the clock cuts dynamic power super-linearly.
+	pinned := NewDevice(XavierNX(), 599)
+	full := NewDevice(XavierNX(), PaperMaxClock(XavierNX()))
+	dynPinned := pinned.PowerW(1) - pinned.PowerW(0)
+	dynFull := full.PowerW(1) - full.PowerW(0)
+	if dynPinned >= dynFull*0.6 {
+		t.Fatalf("DVFS scaling too weak: %.1fW at 599MHz vs %.1fW at max", dynPinned, dynFull)
+	}
+	// Clamping.
+	if nx.PowerW(-1) != nx.PowerW(0) || nx.PowerW(2) != nx.PowerW(1) {
+		t.Fatal("utilization not clamped")
+	}
+}
+
+func TestThermalHeatsTowardEquilibrium(t *testing.T) {
+	d := NewDevice(XavierNX(), PaperMaxClock(XavierNX()))
+	samples := SimulateSustainedLoad(d, 0.8, 25, 600, 1)
+	if samples[0].TempC > 30 {
+		t.Fatal("should start near ambient")
+	}
+	last := samples[len(samples)-1]
+	if last.TempC <= samples[0].TempC+10 {
+		t.Fatalf("module did not heat up: %v -> %v", samples[0].TempC, last.TempC)
+	}
+	for i := 1; i < len(samples); i++ {
+		if samples[i].TempC > 120 {
+			t.Fatal("temperature ran away")
+		}
+	}
+}
+
+func TestThermalNXThrottlesAGXDoesNot(t *testing.T) {
+	// At full utilization and max clocks, the passively-cooled NX
+	// exceeds the throttle point; the fan-cooled AGX holds full clocks.
+	nx := NewDevice(XavierNX(), PaperMaxClock(XavierNX()))
+	agx := NewDevice(XavierAGX(), PaperMaxClock(XavierAGX()))
+	nxRun := SimulateSustainedLoad(nx, 1.0, 35, 1200, 1)
+	agxRun := SimulateSustainedLoad(agx, 1.0, 35, 1200, 1)
+	if SteadyStateClock(nxRun) >= nx.ClockMHz*0.99 {
+		t.Fatalf("NX at 35C ambient should throttle; steady clock %.0f", SteadyStateClock(nxRun))
+	}
+	if SteadyStateClock(agxRun) < agx.ClockMHz*0.99 {
+		t.Fatalf("AGX should hold clocks; steady %.0f", SteadyStateClock(agxRun))
+	}
+}
+
+func TestThermalRecovery(t *testing.T) {
+	d := NewDevice(XavierNX(), PaperMaxClock(XavierNX()))
+	hot := SimulateSustainedLoad(d, 1.0, 35, 1200, 1)
+	throttledAt := -1.0
+	for _, s := range hot {
+		if s.Throttled {
+			throttledAt = s.TimeSec
+			break
+		}
+	}
+	if throttledAt < 0 {
+		t.Fatal("never throttled under hot sustained load")
+	}
+	// Clock never falls below the 50% floor.
+	for _, s := range hot {
+		if s.ClockMHz < d.ClockMHz*0.5-1 {
+			t.Fatal("clock fell through the floor")
+		}
+	}
+}
+
+func TestSteadyStateClockEmpty(t *testing.T) {
+	if SteadyStateClock(nil) != 0 {
+		t.Fatal("empty series should report 0")
+	}
+}
+
+func TestColocate(t *testing.T) {
+	d := NewDevice(XavierAGX(), PaperMaxClock(XavierAGX()))
+	det := StreamLoad{PerFrameGPUSec: 3.3e-3, PerFrameHostSec: 2e-3, PerFrameDRAMBytes: 9e6, LaunchCount: 23}
+	cls := StreamLoad{PerFrameGPUSec: 1.5e-3, PerFrameHostSec: 2e-3, PerFrameDRAMBytes: 4e6, LaunchCount: 40}
+	shares := Colocate(d, []StreamLoad{det, cls}, []int{8, 4})
+	if len(shares) != 2 {
+		t.Fatal("share count")
+	}
+	for _, s := range shares {
+		if s.FPSPerThread <= 0 || s.GPUUtilization <= 0 {
+			t.Fatalf("bad share %+v", s)
+		}
+	}
+	// Oversubscribed: both degrade equally.
+	heavy := Colocate(d, []StreamLoad{det, det, det}, []int{30, 30, 30})
+	if heavy[0].Degradation <= 0 {
+		t.Fatal("oversubscription should degrade throughput")
+	}
+	if heavy[0].Degradation != heavy[1].Degradation {
+		t.Fatal("fair timeslicing should degrade workloads equally")
+	}
+	// Total utilization never exceeds the ceiling.
+	var total float64
+	for _, s := range heavy {
+		total += s.GPUUtilization
+	}
+	if total > utilCeiling(d)+1e-9 {
+		t.Fatalf("co-located utilization %v exceeds ceiling", total)
+	}
+}
+
+func TestColocatePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mismatched lengths")
+		}
+	}()
+	Colocate(NewDevice(XavierNX(), 0), []StreamLoad{{}}, nil)
+}

@@ -1,0 +1,140 @@
+// Package gpusim models the two embedded Volta-class GPUs of the paper —
+// Jetson Xavier NX and Jetson Xavier AGX — analytically: peak arithmetic
+// rates on CUDA and tensor cores, wave/occupancy effects, a shared-L2
+// contention model, DRAM bandwidth, host-to-device copy costs, and
+// CUDA-like streams for concurrent execution. The kernel library
+// (internal/kernels) prices individual kernels against a Device; the
+// engine runtime (internal/core) composes those prices into inference
+// latencies.
+package gpusim
+
+import "fmt"
+
+// DeviceSpec mirrors the paper's Table I: the static hardware description
+// reported by the deviceQuery utility.
+type DeviceSpec struct {
+	Name        string
+	GPUArch     string // chip name, e.g. GV10B
+	CPUDesc     string
+	CUDACores   int
+	SMs         int
+	TensorCores int
+	L1KBPerSM   int
+	L2KB        int
+	MemGB       int
+	MemBusBits  int
+	MemBWGBs    float64 // peak DRAM bandwidth, GB/s
+	MemFreqMHz  float64 // LPDDR4x data clock
+	GPUClockMHz float64 // max GPU clock
+	TechNm      int
+
+	// MemClockFollowsGPU models nvpmodel power-mode coupling: pinning the
+	// GPU clock below maximum selects a power mode that also downclocks
+	// the EMC (memory controller). On AGX the paper's 624 MHz setting
+	// lands in such a mode; NX's 599 MHz mode keeps the EMC at full rate.
+	// This asymmetry is a root cause of "AGX slower than NX" anomalies at
+	// the pinned clocks of the latency study, while the max-clock
+	// concurrency study sees full bandwidth on both.
+	MemClockFollowsGPU bool
+
+	// Host-to-device copy characteristics (pageable memory path). These
+	// drive the paper's Table X memcpy anomaly: AGX programs a wider
+	// memory controller with more channels per transfer, so its per-chunk
+	// setup cost is higher and its effective pageable-copy bandwidth is
+	// slightly lower than NX's despite 2.7x the DRAM bandwidth.
+	H2DSetupUS float64 // per-chunk setup, microseconds
+	H2DBWGBs   float64 // effective pageable H2D bandwidth, GB/s
+}
+
+// XavierNX returns the Jetson Xavier NX specification (Table I).
+func XavierNX() DeviceSpec {
+	return DeviceSpec{
+		Name:        "Xavier NX",
+		GPUArch:     "GV10B",
+		CPUDesc:     "6-core NVIDIA Carmel ARMv8.2 64-bit, 6MB L2 + 4MB L3",
+		CUDACores:   384,
+		SMs:         6,
+		TensorCores: 48,
+		L1KBPerSM:   128,
+		L2KB:        512,
+		MemGB:       8,
+		MemBusBits:  128,
+		MemBWGBs:    51.2,
+		MemFreqMHz:  1600,
+		GPUClockMHz: 1100,
+		TechNm:      12,
+		H2DSetupUS:  30,
+		H2DBWGBs:    2.9,
+	}
+}
+
+// XavierAGX returns the Jetson Xavier AGX specification (Table I).
+func XavierAGX() DeviceSpec {
+	return DeviceSpec{
+		Name:               "Xavier AGX",
+		GPUArch:            "GV10B",
+		CPUDesc:            "8-core ARMv8.2 64-bit, 8MB L2 + 4MB L3",
+		CUDACores:          512,
+		SMs:                8,
+		TensorCores:        64,
+		L1KBPerSM:          128,
+		L2KB:               512,
+		MemGB:              32,
+		MemBusBits:         256,
+		MemBWGBs:           137,
+		MemFreqMHz:         2133,
+		GPUClockMHz:        1137,
+		TechNm:             12,
+		MemClockFollowsGPU: true,
+		H2DSetupUS:         50,
+		H2DBWGBs:           3.05,
+	}
+}
+
+// Platforms returns the two evaluation platforms in paper order.
+func Platforms() []DeviceSpec { return []DeviceSpec{XavierNX(), XavierAGX()} }
+
+// ByName returns the spec whose Name contains the given short name
+// ("NX" or "AGX"), or an error.
+func ByName(name string) (DeviceSpec, error) {
+	switch name {
+	case "NX", "nx", "Xavier NX":
+		return XavierNX(), nil
+	case "AGX", "agx", "Xavier AGX":
+		return XavierAGX(), nil
+	default:
+		return DeviceSpec{}, fmt.Errorf("gpusim: unknown platform %q (want NX or AGX)", name)
+	}
+}
+
+// Short returns the compact platform tag used in experiment tables.
+func (s DeviceSpec) Short() string {
+	switch s.Name {
+	case "Xavier NX":
+		return "NX"
+	case "Xavier AGX":
+		return "AGX"
+	default:
+		return s.Name
+	}
+}
+
+// DeviceQuery renders the spec in the style of the CUDA deviceQuery
+// utility used by the paper to populate Table I.
+func (s DeviceSpec) DeviceQuery() string {
+	return fmt.Sprintf(`Device: %q (%s)
+  CPU:                           %s
+  CUDA Cores:                    %d (%d per SM)
+  Multiprocessors (SMs):         %d
+  Tensor Cores:                  %d (%d per SM)
+  L1 Cache:                      %dKB per SM
+  L2 Cache:                      %dKB
+  Memory:                        %dGB %d-bit LPDDR4x %.1fGB/s
+  GPU Max Clock rate:            %.3f GHz
+  Technology:                    %dnm`,
+		s.Name, s.GPUArch, s.CPUDesc,
+		s.CUDACores, s.CUDACores/s.SMs, s.SMs,
+		s.TensorCores, s.TensorCores/s.SMs,
+		s.L1KBPerSM, s.L2KB, s.MemGB, s.MemBusBits, s.MemBWGBs,
+		s.GPUClockMHz/1000, s.TechNm)
+}

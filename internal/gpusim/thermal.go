@@ -1,0 +1,87 @@
+package gpusim
+
+// Thermal model: a first-order thermal circuit with DVFS throttling.
+// Sustained inference load heats the module toward an equilibrium set by
+// power and the platform's thermal resistance; past the throttle
+// temperature the governor steps the GPU clock down, which stretches
+// inference latency over time — another way the same engine's timing is
+// not a constant (the paper's predictability theme, made visible by
+// tegrastats' thermal fields).
+
+// Thermal constants per platform are derived from the module's cooling
+// solution: the NX dev kit's small heatsink versus the AGX's larger
+// heatsink and fan.
+type thermalParams struct {
+	ResistanceCPerW float64 // junction-to-ambient
+	TimeConstantSec float64
+	ThrottleC       float64
+	RecoverC        float64
+}
+
+func thermalFor(spec DeviceSpec) thermalParams {
+	if spec.Short() == "AGX" {
+		return thermalParams{ResistanceCPerW: 1.25, TimeConstantSec: 90, ThrottleC: 85, RecoverC: 80}
+	}
+	return thermalParams{ResistanceCPerW: 4.2, TimeConstantSec: 60, ThrottleC: 85, RecoverC: 80}
+}
+
+// ThermalSample is one point of a sustained-load simulation.
+type ThermalSample struct {
+	TimeSec   float64
+	TempC     float64
+	ClockMHz  float64
+	PowerW    float64
+	Throttled bool
+}
+
+// SimulateSustainedLoad runs the thermal circuit for durationSec at the
+// given GPU utilization, starting from ambient, stepping every stepSec.
+// When the junction exceeds the throttle point the governor steps the
+// clock down 3% per step until temperature falls below the recovery
+// point; clocks recover the same way. Returns the time series.
+func SimulateSustainedLoad(d *Device, util, ambientC, durationSec, stepSec float64) []ThermalSample {
+	p := thermalFor(d.Spec)
+	temp := ambientC
+	clock := d.ClockMHz
+	minClock := d.ClockMHz * 0.5
+	var out []ThermalSample
+	throttled := false
+	for t := 0.0; t <= durationSec; t += stepSec {
+		dev := &Device{Spec: d.Spec, ClockMHz: clock}
+		power := dev.PowerW(util)
+		equilibrium := ambientC + power*p.ResistanceCPerW
+		temp += (equilibrium - temp) * (stepSec / p.TimeConstantSec)
+		switch {
+		case temp > p.ThrottleC:
+			throttled = true
+			clock *= 0.97
+			if clock < minClock {
+				clock = minClock
+			}
+		case throttled && temp < p.RecoverC:
+			clock *= 1.03
+			if clock > d.ClockMHz {
+				clock = d.ClockMHz
+				throttled = false
+			}
+		}
+		out = append(out, ThermalSample{
+			TimeSec: t, TempC: temp, ClockMHz: clock, PowerW: power, Throttled: throttled,
+		})
+	}
+	return out
+}
+
+// SteadyStateClock returns the clock the platform settles at under the
+// sustained load (the last eighth of the simulation, averaged).
+func SteadyStateClock(samples []ThermalSample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	start := len(samples) * 7 / 8
+	var sum float64
+	for _, s := range samples[start:] {
+		sum += s.ClockMHz
+	}
+	return sum / float64(len(samples)-start)
+}

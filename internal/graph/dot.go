@@ -1,0 +1,65 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// dotColors maps op categories to Graphviz fill colors.
+func dotColor(op OpType) string {
+	switch op {
+	case OpInput:
+		return "lightgrey"
+	case OpConv, OpFC:
+		return "lightblue"
+	case OpMaxPool, OpAvgPool, OpGlobalAvgPool:
+		return "palegreen"
+	case OpBatchNorm, OpScale, OpLRN:
+		return "khaki"
+	case OpReLU, OpLeakyReLU, OpSigmoid, OpSoftmax:
+		return "mistyrose"
+	case OpAdd, OpConcat:
+		return "plum"
+	case OpDropout:
+		return "white"
+	default:
+		return "lightyellow"
+	}
+}
+
+// DOT renders the graph in Graphviz format for visual inspection
+// (rtexec -dot). Node labels carry the op and output shape; conv/FC
+// nodes include their dimensions.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n  node [shape=box, style=filled, fontname=\"monospace\"];\n", g.Name)
+	for _, l := range g.Layers {
+		label := fmt.Sprintf("%s\n%s", l.Name, l.Op)
+		switch l.Op {
+		case OpConv:
+			label += fmt.Sprintf(" %dx%d/%d", l.Conv.Kernel, l.Conv.Kernel, l.Conv.Stride)
+			if l.Conv.Groups > 1 {
+				label += fmt.Sprintf(" g%d", l.Conv.Groups)
+			}
+		case OpFC:
+			label += fmt.Sprintf(" ->%d", l.OutUnits)
+		case OpMaxPool, OpAvgPool:
+			label += fmt.Sprintf(" %dx%d/%d", l.Pool.Kernel, l.Pool.Kernel, l.Pool.Stride)
+		}
+		if g.finalized {
+			s := l.OutShape
+			label += fmt.Sprintf("\n[%d %d %d %d]", s[0], s[1], s[2], s[3])
+		}
+		fmt.Fprintf(&b, "  %q [label=%q, fillcolor=%s];\n", l.Name, label, dotColor(l.Op))
+	}
+	for _, l := range g.Layers {
+		for _, in := range l.Inputs {
+			fmt.Fprintf(&b, "  %q -> %q;\n", in, l.Name)
+		}
+	}
+	for _, o := range g.Outputs {
+		fmt.Fprintf(&b, "  %q [penwidth=3];\n", o)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

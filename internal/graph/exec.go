@@ -1,0 +1,123 @@
+package graph
+
+import (
+	"fmt"
+
+	"edgeinfer/internal/tensor"
+)
+
+// Execute runs the graph numerically on input x using the bit-exact
+// reference operators of internal/tensor, in FP32 throughout. This is the
+// "un-optimized" execution path of the paper: one kernel per layer, no
+// fusion, no quantization. It returns the tensors of all declared
+// outputs. The graph must be finalized and must have weights materialized
+// for every parametric layer.
+func (g *Graph) Execute(x *tensor.Tensor) ([]*tensor.Tensor, error) {
+	if !g.finalized {
+		return nil, fmt.Errorf("graph %s: Execute before Finalize", g.Name)
+	}
+	want := g.InputShape
+	if x.N != want[0] || x.C != want[1] || x.H != want[2] || x.W != want[3] {
+		return nil, fmt.Errorf("graph %s: input shape %v, want %v", g.Name, x.Shape(), want)
+	}
+	acts := map[string]*tensor.Tensor{}
+	for _, l := range g.Layers {
+		var y *tensor.Tensor
+		var err error
+		if l.Op == OpInput {
+			y = x
+		} else {
+			ins := make([]*tensor.Tensor, len(l.Inputs))
+			for i, name := range l.Inputs {
+				ins[i] = acts[name]
+			}
+			y, err = EvalLayer(l, ins)
+			if err != nil {
+				return nil, fmt.Errorf("graph %s, layer %s: %w", g.Name, l.Name, err)
+			}
+		}
+		acts[l.Name] = y
+	}
+	outs := make([]*tensor.Tensor, len(g.Outputs))
+	for i, name := range g.Outputs {
+		outs[i] = acts[name]
+	}
+	return outs, nil
+}
+
+// EvalLayer evaluates a single layer on the given input tensors with the
+// reference operators. It is exported so that the engine runtime can fall
+// back to reference math for ops without specialized kernels.
+func EvalLayer(l *Layer, ins []*tensor.Tensor) (*tensor.Tensor, error) {
+	in := ins[0]
+	switch l.Op {
+	case OpConv:
+		w, b := l.Weights["w"], l.Weights["b"]
+		if w == nil {
+			return nil, fmt.Errorf("conv has no weights materialized")
+		}
+		return tensor.Conv2D(in, w, b, l.Conv), nil
+	case OpMaxPool:
+		return tensor.MaxPool2D(in, l.Pool), nil
+	case OpAvgPool:
+		return tensor.AvgPool2D(in, l.Pool), nil
+	case OpGlobalAvgPool:
+		return tensor.GlobalAvgPool2D(in), nil
+	case OpReLU:
+		return tensor.ReLU(in), nil
+	case OpLeakyReLU:
+		return tensor.LeakyReLU(in, l.Alpha), nil
+	case OpSigmoid:
+		return tensor.Sigmoid(in), nil
+	case OpFC:
+		w, b := l.Weights["w"], l.Weights["b"]
+		if w == nil {
+			return nil, fmt.Errorf("fc has no weights materialized")
+		}
+		return tensor.FC(in, w, b, l.OutUnits), nil
+	case OpBatchNorm:
+		return tensor.BatchNorm(in, l.Weights["gamma"], l.Weights["beta"], l.Weights["mean"], l.Weights["var"], 1e-5), nil
+	case OpLRN:
+		return tensor.LRN(in, l.LRNSize, l.Alpha, l.LRNBeta, l.LRNK), nil
+	case OpSoftmax:
+		return tensor.Softmax(in), nil
+	case OpAdd:
+		y := ins[0]
+		for _, t := range ins[1:] {
+			y = tensor.Add(y, t)
+		}
+		return y, nil
+	case OpConcat:
+		return tensor.Concat(ins...), nil
+	case OpUpsample:
+		return tensor.Upsample2x(in), nil
+	case OpDropout:
+		return in, nil // inference-time identity
+	case OpScale:
+		gamma, beta := l.Weights["gamma"], l.Weights["beta"]
+		y := in.Clone()
+		for c := 0; c < y.C; c++ {
+			var sc, sh float32 = 1, 0
+			if gamma != nil {
+				sc = gamma.Data[c]
+			}
+			if beta != nil {
+				sh = beta.Data[c]
+			}
+			for n := 0; n < y.N; n++ {
+				for h := 0; h < y.H; h++ {
+					for w := 0; w < y.W; w++ {
+						y.Set(n, c, h, w, sc*in.At(n, c, h, w)+sh)
+					}
+				}
+			}
+		}
+		return y, nil
+	case OpFlatten:
+		y := in.Clone()
+		y.C, y.H, y.W = in.C*in.H*in.W, 1, 1
+		return y, nil
+	default:
+		return nil, fmt.Errorf("EvalLayer: unsupported op %v", l.Op)
+	}
+}

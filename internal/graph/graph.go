@@ -1,0 +1,298 @@
+// Package graph defines the neural-network intermediate representation
+// shared by the whole system: framework importers produce Graphs, the
+// inference-engine builder (internal/core) optimizes them, and the
+// reference executor runs them numerically. A Graph is a DAG of named
+// layers with full shape/parameter/FLOP accounting, which the GPU
+// simulator uses for analytic timing at paper-scale dimensions.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"edgeinfer/internal/tensor"
+)
+
+// OpType enumerates the layer operators supported by the IR. The set
+// covers all 13 networks of the paper's Table II.
+type OpType uint8
+
+const (
+	OpInput OpType = iota
+	OpConv
+	OpMaxPool
+	OpAvgPool
+	OpGlobalAvgPool
+	OpReLU
+	OpLeakyReLU
+	OpSigmoid
+	OpFC
+	OpBatchNorm
+	OpLRN
+	OpSoftmax
+	OpAdd
+	OpConcat
+	OpUpsample
+	OpDropout // training-only; removed by the dead-layer pass
+	OpScale   // identity affine; foldable
+	OpFlatten // reshape to [N, C*H*W, 1, 1]
+)
+
+var opNames = map[OpType]string{
+	OpInput: "input", OpConv: "conv", OpMaxPool: "maxpool",
+	OpAvgPool: "avgpool", OpGlobalAvgPool: "gap", OpReLU: "relu",
+	OpLeakyReLU: "leakyrelu", OpSigmoid: "sigmoid", OpFC: "fc",
+	OpBatchNorm: "batchnorm", OpLRN: "lrn", OpSoftmax: "softmax",
+	OpAdd: "add", OpConcat: "concat", OpUpsample: "upsample",
+	OpDropout: "dropout", OpScale: "scale", OpFlatten: "flatten",
+}
+
+// String implements fmt.Stringer.
+func (o OpType) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Layer is one node of the network DAG.
+type Layer struct {
+	Name   string
+	Op     OpType
+	Inputs []string // producer layer names; order matters for Concat/Add
+
+	// Operator parameters (only the fields relevant to Op are used).
+	Conv     tensor.ConvParams
+	Pool     tensor.PoolParams
+	OutUnits int     // FC output width
+	Alpha    float32 // LeakyReLU slope or LRN alpha
+	LRNSize  int
+	LRNBeta  float32
+	LRNK     float32
+
+	// Weights maps parameter names ("w", "b", "gamma", "beta", "mean",
+	// "var") to tensors. Populated by model builders or framework
+	// importers; nil entries are permitted (e.g. bias-free conv).
+	Weights map[string]*tensor.Tensor
+
+	// OutShape is filled in by Graph.Finalize via shape inference.
+	OutShape [4]int
+}
+
+// Graph is a network DAG. Layers are stored in insertion order; Finalize
+// validates the DAG, topologically sorts it and infers shapes.
+type Graph struct {
+	Name       string
+	Framework  string // training framework of origin ("caffe", "tensorflow", ...)
+	Task       string // "classification", "detection", "segmentation"
+	InputShape [4]int
+
+	Layers  []*Layer
+	Outputs []string // names of output layers; defaults to sinks
+
+	byName    map[string]*Layer
+	finalized bool
+}
+
+// New creates an empty graph with the given input shape [N, C, H, W].
+func New(name string, inputShape [4]int) *Graph {
+	g := &Graph{
+		Name:       name,
+		InputShape: inputShape,
+		byName:     map[string]*Layer{},
+	}
+	in := &Layer{Name: "data", Op: OpInput, OutShape: inputShape}
+	g.Layers = append(g.Layers, in)
+	g.byName[in.Name] = in
+	return g
+}
+
+// Add appends a layer. It panics on duplicate names or missing inputs —
+// model construction errors are programming bugs, not runtime conditions.
+func (g *Graph) Add(l *Layer) *Layer {
+	if l.Name == "" {
+		panic("graph: layer with empty name")
+	}
+	if _, dup := g.byName[l.Name]; dup {
+		panic(fmt.Sprintf("graph: duplicate layer %q", l.Name))
+	}
+	if l.Op != OpInput && len(l.Inputs) == 0 {
+		panic(fmt.Sprintf("graph: layer %q has no inputs", l.Name))
+	}
+	for _, in := range l.Inputs {
+		if _, ok := g.byName[in]; !ok {
+			panic(fmt.Sprintf("graph: layer %q references unknown input %q", l.Name, in))
+		}
+	}
+	if l.Weights == nil {
+		l.Weights = map[string]*tensor.Tensor{}
+	}
+	g.Layers = append(g.Layers, l)
+	g.byName[l.Name] = l
+	g.finalized = false
+	return l
+}
+
+// Layer returns the named layer, or nil if absent.
+func (g *Graph) Layer(name string) *Layer { return g.byName[name] }
+
+// Finalize validates the graph, sorts layers topologically, infers all
+// output shapes and determines outputs (sink layers) if not set.
+func (g *Graph) Finalize() error {
+	sorted, err := g.topoSort()
+	if err != nil {
+		return err
+	}
+	g.Layers = sorted
+	if err := g.inferShapes(); err != nil {
+		return err
+	}
+	if len(g.Outputs) == 0 {
+		g.Outputs = g.sinks()
+	}
+	for _, o := range g.Outputs {
+		if g.byName[o] == nil {
+			return fmt.Errorf("graph %s: declared output %q does not exist", g.Name, o)
+		}
+	}
+	g.finalized = true
+	return nil
+}
+
+// Finalized reports whether Finalize has succeeded since the last edit.
+func (g *Graph) Finalized() bool { return g.finalized }
+
+// sinks returns names of layers no other layer consumes, sorted for
+// determinism.
+func (g *Graph) sinks() []string {
+	consumed := map[string]bool{}
+	for _, l := range g.Layers {
+		for _, in := range l.Inputs {
+			consumed[in] = true
+		}
+	}
+	var out []string
+	for _, l := range g.Layers {
+		if !consumed[l.Name] && l.Op != OpInput {
+			out = append(out, l.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// topoSort returns the layers in topological order (Kahn's algorithm with
+// deterministic tie-breaking by insertion order) or an error on cycles.
+func (g *Graph) topoSort() ([]*Layer, error) {
+	indeg := map[string]int{}
+	dependents := map[string][]string{}
+	for _, l := range g.Layers {
+		indeg[l.Name] += 0
+		for _, in := range l.Inputs {
+			indeg[l.Name]++
+			dependents[in] = append(dependents[in], l.Name)
+		}
+	}
+	var queue []string
+	for _, l := range g.Layers { // insertion order keeps sort stable
+		if indeg[l.Name] == 0 {
+			queue = append(queue, l.Name)
+		}
+	}
+	var sorted []*Layer
+	for len(queue) > 0 {
+		name := queue[0]
+		queue = queue[1:]
+		sorted = append(sorted, g.byName[name])
+		for _, d := range dependents[name] {
+			indeg[d]--
+			if indeg[d] == 0 {
+				queue = append(queue, d)
+			}
+		}
+	}
+	if len(sorted) != len(g.Layers) {
+		return nil, fmt.Errorf("graph %s: cycle detected (%d of %d layers sorted)", g.Name, len(sorted), len(g.Layers))
+	}
+	return sorted, nil
+}
+
+// Consumers returns the names of layers that consume the named layer's
+// output, in topological order.
+func (g *Graph) Consumers(name string) []string {
+	var out []string
+	for _, l := range g.Layers {
+		for _, in := range l.Inputs {
+			if in == name {
+				out = append(out, l.Name)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Clone deep-copies the graph, including weights. The clone is
+// un-finalized and must be Finalized before use.
+func (g *Graph) Clone() *Graph {
+	ng := &Graph{
+		Name:       g.Name,
+		Framework:  g.Framework,
+		Task:       g.Task,
+		InputShape: g.InputShape,
+		Outputs:    append([]string(nil), g.Outputs...),
+		byName:     map[string]*Layer{},
+	}
+	for _, l := range g.Layers {
+		nl := *l
+		nl.Inputs = append([]string(nil), l.Inputs...)
+		nl.Weights = map[string]*tensor.Tensor{}
+		for k, w := range l.Weights {
+			if w != nil {
+				nl.Weights[k] = w.Clone()
+			}
+		}
+		ng.Layers = append(ng.Layers, &nl)
+		ng.byName[nl.Name] = &nl
+	}
+	return ng
+}
+
+// Remove deletes the named layer, rewiring its consumers to its (single)
+// input. It is used by optimization passes for pass-through ops and
+// panics if the layer has multiple inputs or is an input layer.
+func (g *Graph) Remove(name string) {
+	l := g.byName[name]
+	if l == nil {
+		return
+	}
+	if l.Op == OpInput {
+		panic("graph: cannot remove the input layer")
+	}
+	if len(l.Inputs) != 1 {
+		panic(fmt.Sprintf("graph: cannot splice out multi-input layer %q", name))
+	}
+	parent := l.Inputs[0]
+	for _, other := range g.Layers {
+		for i, in := range other.Inputs {
+			if in == name {
+				other.Inputs[i] = parent
+			}
+		}
+	}
+	for i, out := range g.Outputs {
+		if out == name {
+			g.Outputs[i] = parent
+		}
+	}
+	idx := -1
+	for i, ll := range g.Layers {
+		if ll == l {
+			idx = i
+			break
+		}
+	}
+	g.Layers = append(g.Layers[:idx], g.Layers[idx+1:]...)
+	delete(g.byName, name)
+	g.finalized = false
+}

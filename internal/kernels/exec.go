@@ -1,0 +1,171 @@
+package kernels
+
+import (
+	"fmt"
+
+	"edgeinfer/internal/tensor"
+)
+
+// Numeric execution of conv/FC variants. Each variant accumulates in a
+// different order and rounds partial sums to its precision at its own
+// tile boundaries, exactly as real kernels with different tile shapes and
+// reduction splits do. Two engines that picked different variants for the
+// same layer therefore produce (slightly) different outputs on the same
+// input — the mechanism behind the paper's Tables V and VI.
+
+// roundTo rounds a partial sum to the variant's compute precision.
+func (v Variant) roundTo(x float32) float32 {
+	if v.Precision == tensor.FP16 || v.Precision == tensor.INT8 {
+		// INT8 kernels accumulate in FP16-equivalent precision here; the
+		// weight quantization itself is applied by the builder.
+		return tensor.RoundFP16(x)
+	}
+	return x
+}
+
+// tileChannels converts the reduction tile (in GEMM-K units) to input
+// channels for a kxk convolution.
+func (v Variant) tileChannels(kernel int) int {
+	tc := v.TileK / (kernel * kernel)
+	if tc < 1 {
+		tc = 1
+	}
+	return tc
+}
+
+// ExecConv runs a convolution with variant-specific accumulation. The
+// weight tensor layout matches tensor.Conv2D.
+func ExecConv(v Variant, x, w, b *tensor.Tensor, p tensor.ConvParams) *tensor.Tensor {
+	groups := p.Groups
+	if groups <= 0 {
+		groups = 1
+	}
+	icg := x.C / groups
+	ocg := p.OutC / groups
+	if want := p.OutC * icg * p.Kernel * p.Kernel; w.Len() != want {
+		panic(fmt.Sprintf("kernels: conv weight len %d, want %d", w.Len(), want))
+	}
+	oh := tensor.ConvOutDim(x.H, p.Kernel, p.Stride, p.Pad)
+	ow := tensor.ConvOutDim(x.W, p.Kernel, p.Stride, p.Pad)
+	y := tensor.New(x.N, p.OutC, oh, ow)
+	tileC := v.tileChannels(p.Kernel)
+
+	for n := 0; n < x.N; n++ {
+		for oc := 0; oc < p.OutC; oc++ {
+			g := oc / ocg
+			var bias float32
+			if b != nil {
+				bias = b.Data[oc]
+			}
+			for i := 0; i < oh; i++ {
+				for j := 0; j < ow; j++ {
+					val := v.reduceConv(x, w, n, oc, g, icg, i, j, p, tileC)
+					val = v.roundTo(val + bias)
+					if v.FusedAct && val < 0 {
+						val = 0
+					}
+					y.Set(n, oc, i, j, val)
+				}
+			}
+		}
+	}
+	return y
+}
+
+// reduceConv accumulates one output element. Channels are processed in
+// tiles of tileC; each tile's partial sum is rounded to the variant
+// precision; partials combine sequentially (SplitK<=1) or pairwise by
+// halves (SplitK>1), mirroring split-K kernels' separate accumulators.
+func (v Variant) reduceConv(x, w *tensor.Tensor, n, oc, g, icg, i, j int, p tensor.ConvParams, tileC int) float32 {
+	var partials []float32
+	for c0 := 0; c0 < icg; c0 += tileC {
+		c1 := c0 + tileC
+		if c1 > icg {
+			c1 = icg
+		}
+		var acc float32
+		for c := c0; c < c1; c++ {
+			ic := g*icg + c
+			for kh := 0; kh < p.Kernel; kh++ {
+				ih := i*p.Stride + kh - p.Pad
+				if ih < 0 || ih >= x.H {
+					continue
+				}
+				for kw := 0; kw < p.Kernel; kw++ {
+					iw := j*p.Stride + kw - p.Pad
+					if iw < 0 || iw >= x.W {
+						continue
+					}
+					wv := w.Data[((oc*icg+c)*p.Kernel+kh)*p.Kernel+kw]
+					acc += wv * x.At(n, ic, ih, iw)
+				}
+			}
+		}
+		partials = append(partials, v.roundTo(acc))
+	}
+	return v.combine(partials)
+}
+
+// combine folds tile partials into the final sum in the variant's order.
+func (v Variant) combine(partials []float32) float32 {
+	if len(partials) == 0 {
+		return 0
+	}
+	if v.SplitK > 1 && len(partials) > 1 {
+		// Split-K: independent accumulators per half, combined at the end.
+		mid := len(partials) / 2
+		var lo, hi float32
+		for _, p := range partials[:mid] {
+			lo = v.roundTo(lo + p)
+		}
+		for _, p := range partials[mid:] {
+			hi = v.roundTo(hi + p)
+		}
+		return v.roundTo(lo + hi)
+	}
+	var acc float32
+	for _, p := range partials {
+		acc = v.roundTo(acc + p)
+	}
+	return acc
+}
+
+// ExecFC runs a fully-connected layer with variant-specific accumulation.
+func ExecFC(v Variant, x, w, b *tensor.Tensor, out int) *tensor.Tensor {
+	in := x.C * x.H * x.W
+	if w.Len() != out*in {
+		panic(fmt.Sprintf("kernels: fc weight len %d, want %d", w.Len(), out*in))
+	}
+	tile := v.TileK
+	if tile < 1 {
+		tile = in
+	}
+	y := tensor.New(x.N, out, 1, 1)
+	for n := 0; n < x.N; n++ {
+		xoff := n * in
+		for o := 0; o < out; o++ {
+			woff := o * in
+			var partials []float32
+			for k0 := 0; k0 < in; k0 += tile {
+				k1 := k0 + tile
+				if k1 > in {
+					k1 = in
+				}
+				var acc float32
+				for k := k0; k < k1; k++ {
+					acc += w.Data[woff+k] * x.Data[xoff+k]
+				}
+				partials = append(partials, v.roundTo(acc))
+			}
+			val := v.combine(partials)
+			if b != nil {
+				val = v.roundTo(val + b.Data[o])
+			}
+			if v.FusedAct && val < 0 {
+				val = 0
+			}
+			y.Set(n, o, 0, 0, val)
+		}
+	}
+	return y
+}

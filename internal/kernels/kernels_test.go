@@ -1,0 +1,449 @@
+package kernels
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"edgeinfer/internal/fixrand"
+	"edgeinfer/internal/gpusim"
+	"edgeinfer/internal/tensor"
+)
+
+// pednetDims approximates a mid-network pednet conv: 512x512 input
+// detection net at stride 16, moderate channels.
+func pednetDims() ConvDims {
+	return ConvDims{Batch: 1, InC: 256, H: 32, W: 32, OutC: 256, OutH: 32, OutW: 32, Kernel: 3, Stride: 1, Groups: 1}
+}
+
+func TestConvDimsGEMMView(t *testing.T) {
+	d := pednetDims()
+	if d.M() != 1024 || d.N() != 256 || d.K() != 2304 {
+		t.Fatalf("M=%d N=%d K=%d", d.M(), d.N(), d.K())
+	}
+	if d.FLOPs() != 2*1024*256*2304 {
+		t.Fatalf("flops %d", d.FLOPs())
+	}
+	if d.WeightParams() != 256*256*9 {
+		t.Fatalf("weights %d", d.WeightParams())
+	}
+}
+
+func TestConvCandidatesMenu(t *testing.T) {
+	cands := ConvCandidates(pednetDims(), tensor.FP16)
+	var hmma, wino, fp32, splitk int
+	for _, v := range cands {
+		switch v.Family {
+		case FamHMMAConv:
+			hmma++
+			if v.SplitK > 1 {
+				splitk++
+			}
+		case FamWinograd:
+			wino++
+		case FamCUDAConv:
+			fp32++
+		}
+	}
+	if hmma < 5 {
+		t.Errorf("only %d HMMA tiles", hmma)
+	}
+	if wino != 2 {
+		t.Errorf("%d winograd candidates, want 2 (3x3 s1)", wino)
+	}
+	if fp32 != 1 {
+		t.Errorf("%d fp32 fallbacks", fp32)
+	}
+	if splitk == 0 {
+		t.Error("deep reduction should offer split-K tactics")
+	}
+}
+
+func TestNoWinogradForStride2(t *testing.T) {
+	d := pednetDims()
+	d.Stride = 2
+	for _, v := range ConvCandidates(d, tensor.FP16) {
+		if v.Family == FamWinograd {
+			t.Fatal("winograd offered for stride-2 conv")
+		}
+	}
+}
+
+func TestDepthwiseCandidates(t *testing.T) {
+	d := ConvDims{Batch: 1, InC: 256, H: 20, W: 20, OutC: 256, OutH: 20, OutW: 20, Kernel: 3, Stride: 1, Groups: 256}
+	cands := ConvCandidates(d, tensor.FP16)
+	if cands[0].Family != FamDepthwise {
+		t.Fatal("depthwise conv should lead with the depthwise kernel")
+	}
+}
+
+func TestFP32PrecisionGetsNoHMMA(t *testing.T) {
+	for _, v := range ConvCandidates(pednetDims(), tensor.FP32) {
+		if v.Family == FamHMMAConv || v.Family == FamWinograd {
+			t.Fatal("fp32 build offered tensor-core kernels")
+		}
+	}
+}
+
+func TestKernelNamesLookLikeTRT(t *testing.T) {
+	v := Variant{Family: FamHMMAConv, TileM: 256, TileN: 64, TileK: 64, Precision: tensor.FP16, FusedAct: true, NHWC: true}
+	name := v.Name(1024)
+	if name != "trt_volta_h884cudnn_256x64_ldg8_relu_exp_small_nhwc_tn_v1" {
+		t.Fatalf("kernel name %q", name)
+	}
+	if !strings.Contains(Variant{Family: FamSort}.Name(100), "RadixSort") {
+		t.Fatal("sort kernel name wrong")
+	}
+}
+
+func TestSizeClassBuckets(t *testing.T) {
+	if SizeClass(1000) != "small" || SizeClass(10000) != "medium" ||
+		SizeClass(100000) != "large" || SizeClass(1000000) != "xlarge" {
+		t.Fatal("size class buckets wrong")
+	}
+}
+
+func TestWeightBytesFactor(t *testing.T) {
+	fp16 := Variant{Family: FamHMMAConv, Precision: tensor.FP16}
+	if fp16.WeightBytesFactor() != 0.5 {
+		t.Fatal("fp16 direct should store half-size weights")
+	}
+	wino := Variant{Family: FamWinograd, Precision: tensor.FP16}
+	if wino.WeightBytesFactor() != 2.0 {
+		t.Fatal("winograd should store 2x fp32-relative weights")
+	}
+	if (Variant{Family: FamCUDAConv, Precision: tensor.FP32}).WeightBytesFactor() != 1.0 {
+		t.Fatal("fp32 factor wrong")
+	}
+}
+
+func TestPlanConvBlocksAndTraffic(t *testing.T) {
+	d := pednetDims()
+	v := Variant{Family: FamHMMAConv, TileM: 256, TileN: 64, TileK: 64, Precision: tensor.FP16, FusedAct: true}
+	ls := PlanConv(v, d)
+	if ls.Blocks != 4*4 { // ceil(1024/256) * ceil(256/64)
+		t.Fatalf("blocks %d want 16", ls.Blocks)
+	}
+	if ls.WeightBytes != int64(256*256*9*2) {
+		t.Fatalf("weight bytes %d", ls.WeightBytes)
+	}
+	if ls.WorkingSet != int64(256+64)*64*2*2+4096 {
+		t.Fatalf("working set %d", ls.WorkingSet)
+	}
+}
+
+func TestWinogradTradesFLOPsForWeightTraffic(t *testing.T) {
+	d := pednetDims()
+	direct := PlanConv(Variant{Family: FamHMMAConv, TileM: 128, TileN: 64, TileK: 64, Precision: tensor.FP16}, d)
+	wino := PlanConv(Variant{Family: FamWinograd, TileM: 128, TileN: 128, TileK: 64, Precision: tensor.FP16}, d)
+	if wino.FLOPs >= direct.FLOPs {
+		t.Fatal("winograd should reduce FLOPs")
+	}
+	if wino.WeightBytes <= direct.WeightBytes {
+		t.Fatal("winograd should increase weight bytes")
+	}
+}
+
+func TestTimeSecPositiveAndClockScales(t *testing.T) {
+	d := pednetDims()
+	ls := PlanConv(Variant{Family: FamHMMAConv, TileM: 128, TileN: 64, TileK: 64, Precision: tensor.FP16}, d)
+	lo := gpusim.NewDevice(gpusim.XavierNX(), 599)
+	hi := gpusim.NewDevice(gpusim.XavierNX(), 1100)
+	tl, th := ls.TimeSec(lo), ls.TimeSec(hi)
+	if tl <= 0 || th <= 0 {
+		t.Fatal("non-positive kernel time")
+	}
+	if th >= tl {
+		t.Fatal("higher clock should be faster for compute-bound conv")
+	}
+}
+
+// The Table XI phenomenon: a 256x64 HMMA kernel (73KB working set) is
+// slower on AGX than NX at comparable clocks because AGX's per-SM L2
+// share is smaller.
+func TestBigTileKernelSlowerOnAGX(t *testing.T) {
+	// A memory-bound conv: large weights, modest FLOPs (late detection layers).
+	d := ConvDims{Batch: 1, InC: 832, H: 16, W: 16, OutC: 384, OutH: 16, OutW: 16, Kernel: 3, Stride: 1, Groups: 1}
+	v := Variant{Family: FamHMMAConv, TileM: 256, TileN: 64, TileK: 64, Precision: tensor.FP16, FusedAct: true}
+	ls := PlanConv(v, d)
+	nx := gpusim.NewDevice(gpusim.XavierNX(), 599)
+	agx := gpusim.NewDevice(gpusim.XavierAGX(), 624)
+	tn, ta := ls.TimeSec(nx), ls.TimeSec(agx)
+	if ta <= tn*0.9 {
+		t.Logf("NX %.4fms AGX %.4fms", tn*1e3, ta*1e3)
+	}
+	// The L2 contention factor must differ across the devices for this tile.
+	if nx.L2ContentionFactor(ls.WorkingSet) >= agx.L2ContentionFactor(ls.WorkingSet) {
+		t.Fatal("73KB working set should contend on AGX but not NX")
+	}
+}
+
+func TestSortLatencyBoundAndSlowerOnAGX(t *testing.T) {
+	ls := PlanSort(25800)
+	nx := gpusim.NewDevice(gpusim.XavierNX(), 599)
+	agx := gpusim.NewDevice(gpusim.XavierAGX(), 624)
+	tn, ta := ls.TimeSec(nx), ls.TimeSec(agx)
+	if ta <= tn {
+		t.Fatalf("radix sort should be slower on AGX (device-wide sync): NX %v AGX %v", tn, ta)
+	}
+	if tn < 0.4e-3 || tn > 2e-3 {
+		t.Errorf("sort time %.3fms out of the paper's ~1ms ballpark", tn*1e3)
+	}
+}
+
+func TestPlanSimpleIsBandwidthBound(t *testing.T) {
+	ls := PlanSimple(FamActivation, tensor.FP16, 1<<20, 1<<20, 1)
+	d := gpusim.NewDevice(gpusim.XavierNX(), 599)
+	got := ls.TimeSec(d)
+	wantMin := float64(2*(1<<20)*2) / (d.DRAMBandwidth() * memEff)
+	if got < wantMin {
+		t.Fatalf("activation faster than memory allows: %v < %v", got, wantMin)
+	}
+}
+
+// --- numeric execution ---
+
+func randTensor(key string, n, c, h, w int) *tensor.Tensor {
+	src := fixrand.NewKeyed(key)
+	x := tensor.New(n, c, h, w)
+	for i := range x.Data {
+		x.Data[i] = float32(src.NormFloat64())
+	}
+	return x
+}
+
+func TestExecConvFP32MatchesReference(t *testing.T) {
+	x := randTensor("ec-x", 1, 8, 10, 10)
+	w := randTensor("ec-w", 8, 8, 3, 3)
+	p := tensor.ConvParams{OutC: 8, Kernel: 3, Stride: 1, Pad: 1, Groups: 1}
+	v := Variant{Family: FamCUDAConv, TileM: 128, TileN: 64, TileK: 32, Precision: tensor.FP32}
+	got := ExecConv(v, x, w, nil, p)
+	want := tensor.Conv2D(x, w, nil, p)
+	for i := range want.Data {
+		if math.Abs(float64(got.Data[i]-want.Data[i])) > 1e-4 {
+			t.Fatalf("fp32 exec diverges at %d: %v vs %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestExecConvFusedReLU(t *testing.T) {
+	x := randTensor("ecr-x", 1, 4, 6, 6)
+	w := randTensor("ecr-w", 4, 4, 3, 3)
+	p := tensor.ConvParams{OutC: 4, Kernel: 3, Stride: 1, Pad: 1, Groups: 1}
+	v := Variant{Family: FamHMMAConv, TileM: 64, TileN: 64, TileK: 64, Precision: tensor.FP16, FusedAct: true}
+	y := ExecConv(v, x, w, nil, p)
+	for _, val := range y.Data {
+		if val < 0 {
+			t.Fatal("fused relu produced negative output")
+		}
+	}
+}
+
+func TestDifferentVariantsDifferentOutputs(t *testing.T) {
+	// Two FP16 variants with different reduction tiles round partial sums
+	// at different boundaries: outputs must differ somewhere.
+	x := randTensor("dv-x", 1, 64, 8, 8)
+	w := randTensor("dv-w", 32, 64, 3, 3)
+	p := tensor.ConvParams{OutC: 32, Kernel: 3, Stride: 1, Pad: 1, Groups: 1}
+	v1 := Variant{Family: FamHMMAConv, TileM: 64, TileN: 64, TileK: 64, Precision: tensor.FP16}
+	v2 := Variant{Family: FamHMMAConv, TileM: 256, TileN: 64, TileK: 256, Precision: tensor.FP16}
+	y1 := ExecConv(v1, x, w, nil, p)
+	y2 := ExecConv(v2, x, w, nil, p)
+	diff := 0
+	for i := range y1.Data {
+		if y1.Data[i] != y2.Data[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different tile sizes produced bit-identical outputs")
+	}
+	// But they must agree closely (same math, different rounding): within
+	// a few FP16 ulps relative.
+	// Bound: per-tile rounding errors accumulate, so allow a small
+	// absolute term (cancellation makes relative bounds meaningless near
+	// zero) plus a few ulps relative.
+	for i := range y1.Data {
+		diff := math.Abs(float64(y1.Data[i] - y2.Data[i]))
+		if diff > 0.1+4e-3*math.Abs(float64(y1.Data[i])) {
+			t.Fatalf("variants diverge too much at %d: %v vs %v", i, y1.Data[i], y2.Data[i])
+		}
+	}
+}
+
+func TestSplitKChangesCombination(t *testing.T) {
+	x := randTensor("sk-x", 1, 128, 4, 4)
+	w := randTensor("sk-w", 16, 128, 3, 3)
+	p := tensor.ConvParams{OutC: 16, Kernel: 3, Stride: 1, Pad: 1, Groups: 1}
+	base := Variant{Family: FamHMMAConv, TileM: 128, TileN: 64, TileK: 64, Precision: tensor.FP16}
+	split := base
+	split.SplitK = 2
+	y1 := ExecConv(base, x, w, nil, p)
+	y2 := ExecConv(split, x, w, nil, p)
+	diff := 0
+	for i := range y1.Data {
+		if y1.Data[i] != y2.Data[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("split-K produced bit-identical outputs")
+	}
+}
+
+func TestExecFCMatchesReferenceFP32(t *testing.T) {
+	x := randTensor("fc-x", 1, 32, 2, 2)
+	w := randTensor("fc-w", 1, 10*128, 1, 1)
+	v := Variant{Family: FamGEMM, TileM: 128, TileN: 64, TileK: 32, Precision: tensor.FP32}
+	got := ExecFC(v, x, w, nil, 10)
+	want := tensor.FC(x, w, nil, 10)
+	for i := range want.Data {
+		if math.Abs(float64(got.Data[i]-want.Data[i])) > 1e-4 {
+			t.Fatalf("fc exec diverges: %v vs %v", got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestExecFCFP16CloseToReference(t *testing.T) {
+	x := randTensor("fch-x", 1, 64, 2, 2)
+	w := randTensor("fch-w", 1, 10*256, 1, 1)
+	v := Variant{Family: FamGEMM, TileM: 64, TileN: 64, TileK: 64, Precision: tensor.FP16}
+	got := ExecFC(v, x, w, nil, 10)
+	want := tensor.FC(x, w, nil, 10)
+	for i := range want.Data {
+		rel := math.Abs(float64(got.Data[i]-want.Data[i])) / (math.Abs(float64(want.Data[i])) + 1)
+		if rel > 0.01 {
+			t.Fatalf("fp16 fc too far off: %v vs %v", got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// Property: kernel time decreases (or holds) as clock rises, for any
+// variant in the menu.
+func TestTimeMonotoneInClock(t *testing.T) {
+	d := pednetDims()
+	cands := ConvCandidates(d, tensor.FP16)
+	if err := quick.Check(func(seed uint64) bool {
+		src := fixrand.New(seed)
+		v := cands[src.Intn(len(cands))]
+		ls := PlanConv(v, d)
+		c1 := 400 + src.Float64()*800
+		c2 := c1 + 100
+		d1 := gpusim.NewDevice(gpusim.XavierNX(), c1)
+		d2 := gpusim.NewDevice(gpusim.XavierNX(), c2)
+		return ls.TimeSec(d2) <= ls.TimeSec(d1)+1e-12
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: more FLOPs never makes the same kernel faster on the same
+// device (monotone latency model).
+func TestTimeMonotoneInWork(t *testing.T) {
+	dev := gpusim.NewDevice(gpusim.XavierNX(), 599)
+	v := Variant{Family: FamHMMAConv, TileM: 128, TileN: 64, TileK: 64, Precision: tensor.FP16}
+	if err := quick.Check(func(hRaw, cRaw uint8) bool {
+		h := int(hRaw%32) + 4
+		c := (int(cRaw%16) + 1) * 32
+		small := PlanConv(v, ConvDims{Batch: 1, InC: c, H: h, W: h, OutC: c, OutH: h, OutW: h, Kernel: 3, Stride: 1})
+		big := PlanConv(v, ConvDims{Batch: 1, InC: c, H: 2 * h, W: 2 * h, OutC: c, OutH: 2 * h, OutW: 2 * h, Kernel: 3, Stride: 1})
+		return big.TimeSec(dev) >= small.TimeSec(dev)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFamilyStrings(t *testing.T) {
+	for fam, want := range map[Family]string{
+		FamHMMAConv: "hmma-conv", FamWinograd: "winograd-conv", FamCUDAConv: "cuda-conv",
+		FamDepthwise: "depthwise", FamGEMM: "gemm", FamPool: "pool", FamLRN: "lrn",
+		FamActivation: "activation", FamEltwise: "eltwise", FamCopy: "copy",
+		FamSoftmax: "softmax", FamSort: "sort",
+	} {
+		if fam.String() != want {
+			t.Errorf("family %d string %q want %q", fam, fam.String(), want)
+		}
+	}
+	if Family(200).String() != "unknown" {
+		t.Fatal("unknown family string")
+	}
+}
+
+func TestAllKernelNamesRender(t *testing.T) {
+	for _, fam := range []Family{FamHMMAConv, FamWinograd, FamCUDAConv, FamDepthwise,
+		FamGEMM, FamPool, FamLRN, FamActivation, FamEltwise, FamCopy, FamSoftmax, FamSort} {
+		v := Variant{Family: fam, TileM: 128, TileN: 64, TileK: 32, Precision: tensor.FP16}
+		if v.Name(1000) == "" || v.Name(1000) == "unknown_kernel" {
+			t.Errorf("family %v renders no name", fam)
+		}
+	}
+	if (Variant{Family: Family(200)}).Name(1) != "unknown_kernel" {
+		t.Fatal("unknown family should render unknown_kernel")
+	}
+}
+
+func TestGEMMCandidatesFP32(t *testing.T) {
+	d := ConvDims{Batch: 1, InC: 9216, H: 1, W: 1, OutC: 1000, OutH: 1, OutW: 1, Kernel: 1, Stride: 1}
+	cands := GEMMCandidates(d, tensor.FP32)
+	if len(cands) != 1 || cands[0].Precision != tensor.FP32 {
+		t.Fatalf("fp32 gemm menu %v", cands)
+	}
+	fp16 := GEMMCandidates(d, tensor.FP16)
+	splitk := 0
+	for _, v := range fp16 {
+		if v.SplitK > 1 {
+			splitk++
+		}
+	}
+	if splitk == 0 {
+		t.Fatal("deep FC should offer split-K")
+	}
+	if len(fp16) <= len(cands) {
+		t.Fatal("fp16 menu should be larger")
+	}
+}
+
+func TestINT8WeightFactor(t *testing.T) {
+	v := Variant{Family: FamHMMAConv, Precision: tensor.INT8}
+	if v.WeightBytesFactor() != 0.25 {
+		t.Fatalf("int8 factor %v", v.WeightBytesFactor())
+	}
+}
+
+func TestDepthwisePlanAndTime(t *testing.T) {
+	d := ConvDims{Batch: 1, InC: 512, H: 20, W: 20, OutC: 512, OutH: 20, OutW: 20, Kernel: 3, Stride: 1, Groups: 512}
+	v := Variant{Family: FamDepthwise, TileM: 128, TileN: 8, TileK: 16, Precision: tensor.FP16, FusedAct: true}
+	ls := PlanConv(v, d)
+	if ls.Blocks <= 0 {
+		t.Fatal("depthwise blocks")
+	}
+	dev := gpusim.NewDevice(gpusim.XavierNX(), 599)
+	if ls.TimeSec(dev) <= 0 {
+		t.Fatal("depthwise time")
+	}
+	// Depthwise FLOPs are k*k per output, far below a dense conv's.
+	dense := d
+	dense.Groups = 1
+	dls := PlanConv(Variant{Family: FamHMMAConv, TileM: 128, TileN: 64, TileK: 64, Precision: tensor.FP16}, dense)
+	if ls.FLOPs >= dls.FLOPs {
+		t.Fatal("depthwise should be far lighter than dense")
+	}
+}
+
+func TestSplitKPlanExpandsBlocks(t *testing.T) {
+	d := pednetDims()
+	base := Variant{Family: FamHMMAConv, TileM: 128, TileN: 64, TileK: 64, Precision: tensor.FP16}
+	split := base
+	split.SplitK = 2
+	if PlanConv(split, d).Blocks != 2*PlanConv(base, d).Blocks {
+		t.Fatal("split-K should double the block count")
+	}
+}
+
+func TestUnoptimizedConvVariant(t *testing.T) {
+	v := UnoptimizedConv()
+	if v.Family != FamCUDAConv || v.Precision != tensor.FP32 || v.FusedAct {
+		t.Fatalf("unoptimized variant %+v", v)
+	}
+}

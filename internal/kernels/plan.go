@@ -1,0 +1,248 @@
+package kernels
+
+import (
+	"edgeinfer/internal/gpusim"
+	"edgeinfer/internal/tensor"
+)
+
+// ConvDims carries the implicit-GEMM view of a convolution (or FC, with
+// Kernel=1 and OutH=OutW=1) that kernel planning needs.
+type ConvDims struct {
+	Batch, InC, H, W       int
+	OutC, OutH, OutW       int
+	Kernel, Stride, Groups int
+}
+
+// M is the implicit-GEMM row count (output pixels).
+func (d ConvDims) M() int { return d.Batch * d.OutH * d.OutW }
+
+// N is the implicit-GEMM column count (output channels).
+func (d ConvDims) N() int { return d.OutC }
+
+// K is the reduction depth (input patch size).
+func (d ConvDims) K() int {
+	g := d.Groups
+	if g == 0 {
+		g = 1
+	}
+	return (d.InC / g) * d.Kernel * d.Kernel
+}
+
+// FLOPs is the multiply-add work of the convolution (2 ops per MAC).
+func (d ConvDims) FLOPs() int64 {
+	return 2 * int64(d.M()) * int64(d.N()) * int64(d.K())
+}
+
+// WeightParams is the number of weight scalars.
+func (d ConvDims) WeightParams() int64 {
+	g := d.Groups
+	if g == 0 {
+		g = 1
+	}
+	return int64(d.OutC) * int64(d.InC/g) * int64(d.Kernel) * int64(d.Kernel)
+}
+
+// LaunchSpec is a priced kernel launch: a variant bound to concrete layer
+// dimensions, with everything the device model needs to time it.
+type LaunchSpec struct {
+	V           Variant
+	Symbol      string // rendered kernel name
+	Blocks      int
+	FLOPs       int64
+	MemBytes    int64 // DRAM traffic per launch
+	WeightBytes int64 // engine-resident weight size for this layer
+	WorkingSet  int64 // per-SM cache working set (drives L2 contention)
+	Elems       int64 // output elements (for latency-bound kernels)
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// PlanConv binds a conv/GEMM variant to layer dimensions.
+func PlanConv(v Variant, d ConvDims) LaunchSpec {
+	m, n := d.M(), d.N()
+	elemBytes := int64(v.Precision.Bytes())
+	weightBytes := int64(float64(d.WeightParams()*4) * v.WeightBytesFactor())
+	inBytes := int64(d.Batch*d.InC*d.H*d.W) * elemBytes
+	outBytes := int64(d.Batch*d.OutC*d.OutH*d.OutW) * elemBytes
+
+	flops := d.FLOPs()
+	// Per-SM L2 working set: double-buffered input and weight tiles (the
+	// output tile lives in registers) plus scheduler state.
+	ws := int64(v.TileM+v.TileN)*int64(v.TileK)*elemBytes*2 + 4096
+	blocks := ceilDiv(m, v.TileM) * ceilDiv(n, v.TileN)
+	switch v.Family {
+	case FamWinograd:
+		// F(4x4,3x3): 2.25x fewer multiplies, 4x transformed weights.
+		flops = int64(float64(flops) / 2.25)
+		ws = ws * 2
+	case FamDepthwise:
+		// One block per channel slab; reduction is tiny (k*k).
+		blocks = ceilDiv(d.OutC, 8) * ceilDiv(d.OutH*d.OutW, 256)
+		ws = 32 * 1024
+	}
+	if v.SplitK > 1 {
+		blocks *= v.SplitK
+	}
+	return LaunchSpec{
+		V:           v,
+		Symbol:      v.Name(m),
+		Blocks:      blocks,
+		FLOPs:       flops,
+		MemBytes:    weightBytes + inBytes + outBytes,
+		WeightBytes: weightBytes,
+		WorkingSet:  ws,
+		Elems:       int64(m) * int64(n),
+	}
+}
+
+// PlanSimple builds a launch for the non-GEMM families (pooling,
+// activation, eltwise, copy, LRN, softmax): bandwidth-dominated kernels
+// over inElems inputs and outElems outputs at the given precision.
+func PlanSimple(fam Family, prec tensor.Precision, inElems, outElems, flopsPerElem int64) LaunchSpec {
+	v := Variant{Family: fam, Precision: prec, TileM: 128, TileN: 1, TileK: 1}
+	eb := int64(prec.Bytes())
+	return LaunchSpec{
+		V:          v,
+		Symbol:     v.Name(int(outElems)),
+		Blocks:     ceilDiv(int(outElems), 4096),
+		FLOPs:      outElems * flopsPerElem,
+		MemBytes:   inElems*eb + outElems*eb,
+		WorkingSet: 16 * 1024,
+		Elems:      outElems,
+	}
+}
+
+// PlanSort builds the cub segmented radix-sort launch pair used by the
+// detection models' output stage (box ranking before NMS).
+func PlanSort(boxes int64) LaunchSpec {
+	v := Variant{Family: FamSort, Precision: tensor.FP32}
+	return LaunchSpec{
+		V:          v,
+		Symbol:     v.Name(int(boxes)),
+		Blocks:     ceilDiv(int(boxes), 2048),
+		FLOPs:      boxes * 8,
+		MemBytes:   boxes * 8 * 6, // 6 radix passes over key+value
+		WorkingSet: 48 * 1024,
+		Elems:      boxes,
+	}
+}
+
+// famEff is the achievable fraction of the relevant peak rate per family.
+func famEff(f Family) float64 {
+	switch f {
+	case FamHMMAConv:
+		return 0.50
+	case FamWinograd:
+		return 0.55
+	case FamGEMM:
+		return 0.35
+	case FamCUDAConv:
+		return 0.30
+	case FamDepthwise:
+		return 0.25
+	default:
+		return 0.20 // scalar elementwise work on CUDA cores
+	}
+}
+
+// tileEff is the efficiency multiplier of the tile shape: larger tiles
+// amortize scheduling and expose more ILP, which is why the library
+// offers them at all — the price is the larger L2 working set that the
+// contention model charges.
+func tileEff(v Variant) float64 {
+	switch v.Family {
+	case FamHMMAConv, FamWinograd, FamCUDAConv, FamGEMM:
+		area := v.TileM * v.TileN
+		switch {
+		case area <= 64*64:
+			return 0.78
+		case area <= 128*64:
+			return 0.90
+		case area <= 128*128:
+			return 1.00
+		default:
+			return 1.06
+		}
+	default:
+		return 1
+	}
+}
+
+// usesTensorCores reports whether the family issues HMMA instructions.
+func usesTensorCores(f Family) bool {
+	switch f {
+	case FamHMMAConv, FamWinograd, FamGEMM:
+		return true
+	default:
+		return false
+	}
+}
+
+// memEff is the achievable fraction of DRAM bandwidth for streaming
+// kernels.
+const memEff = 0.75
+
+// int8Speedup is the tensor-core INT8 rate relative to FP16 on Xavier's
+// Volta (IMMA issues at roughly 1.8x the HMMA FP16 rate in practice).
+const int8Speedup = 1.8
+
+// TimeSec prices the launch on a device: the roofline of tile-padded
+// compute vs. L2-contended memory traffic, divided by wave efficiency,
+// with radix sort priced per latency-bound pass. Host-side launch
+// overhead is accounted separately by the engine runtime.
+func (ls LaunchSpec) TimeSec(dev *gpusim.Device) float64 {
+	if ls.V.Family == FamSort {
+		// 6 radix passes, each a device-wide sync whose cost grows with
+		// the number of SMs to quiesce; the payload itself is tiny.
+		perPass := 2.0e-5 * float64(dev.Spec.SMs)
+		stream := float64(ls.MemBytes) / (dev.DRAMBandwidth() * memEff)
+		return 6*perPass + stream
+	}
+	util := ls.tileUtilization()
+	peak := dev.PeakFLOPS(usesTensorCores(ls.V.Family)) * famEff(ls.V.Family) * tileEff(ls.V) * util
+	if ls.V.Precision == tensor.INT8 && usesTensorCores(ls.V.Family) {
+		peak *= int8Speedup
+	}
+	compute := float64(ls.FLOPs) / peak
+	mem := float64(ls.MemBytes) / (dev.DRAMBandwidth() * memEff)
+	t := compute
+	if mem > t {
+		t = mem
+	}
+	// L2 thrashing stalls the whole kernel (tensor cores starve on
+	// misses), so contention scales the roofline result, not just the
+	// memory term.
+	return t * dev.L2ContentionFactor(ls.WorkingSet) / dev.WaveEfficiency(ls.Blocks)
+}
+
+// tileUtilization is the fraction of tile slots doing useful work: tiles
+// overhanging the M/N extents compute padding. Only meaningful for the
+// GEMM-shaped families.
+func (ls LaunchSpec) tileUtilization() float64 {
+	if ls.V.TileM <= 0 || ls.V.TileN <= 0 {
+		return 1
+	}
+	switch ls.V.Family {
+	case FamHMMAConv, FamWinograd, FamCUDAConv, FamGEMM:
+		m := ls.Elems / int64(ls.V.TileN) // recover M (Elems = M*N)
+		_ = m
+	default:
+		return 1
+	}
+	// Blocks * TileM * TileN slots vs. M*N useful outputs.
+	slots := float64(ls.Blocks) * float64(ls.V.TileM) * float64(ls.V.TileN)
+	if ls.V.SplitK > 1 {
+		slots /= float64(ls.V.SplitK)
+	}
+	if slots <= 0 {
+		return 1
+	}
+	u := float64(ls.Elems) / slots
+	if u > 1 {
+		u = 1
+	}
+	if u < 0.05 {
+		u = 0.05
+	}
+	return u
+}

@@ -1,0 +1,165 @@
+// Package kernels models the pre-implemented CUDA kernel library that
+// TensorRT's hardware-mapping step (paper Fig. 2, step 5) selects from.
+// Each operator has several variants — tensor-core HMMA tiles of
+// different shapes, Winograd transforms, plain FP32 CUDA-core kernels,
+// depthwise specializations — with (a) an analytic latency on a simulated
+// device and (b) a numeric implementation whose accumulation order and
+// rounding points differ per variant. (a) drives the tuner and all
+// performance tables; (b) makes independently tuned engines genuinely
+// produce different outputs on the same input, the paper's Finding 2.
+package kernels
+
+import (
+	"fmt"
+
+	"edgeinfer/internal/tensor"
+)
+
+// Family classifies kernel implementations.
+type Family uint8
+
+const (
+	FamHMMAConv   Family = iota // tensor-core FP16 implicit GEMM convolution
+	FamWinograd                 // tensor-core FP16 Winograd F(4x4,3x3) convolution
+	FamCUDAConv                 // FP32 CUDA-core direct convolution
+	FamDepthwise                // depthwise convolution specialization
+	FamGEMM                     // fully-connected HMMA GEMM
+	FamPool                     // max/avg pooling
+	FamLRN                      // local response normalization
+	FamActivation               // relu / leaky / sigmoid
+	FamEltwise                  // elementwise add (residual)
+	FamCopy                     // concat / reformat / upsample copies
+	FamSoftmax
+	FamSort // cub radix sort used by detection output (NMS)
+)
+
+// String implements fmt.Stringer.
+func (f Family) String() string {
+	switch f {
+	case FamHMMAConv:
+		return "hmma-conv"
+	case FamWinograd:
+		return "winograd-conv"
+	case FamCUDAConv:
+		return "cuda-conv"
+	case FamDepthwise:
+		return "depthwise"
+	case FamGEMM:
+		return "gemm"
+	case FamPool:
+		return "pool"
+	case FamLRN:
+		return "lrn"
+	case FamActivation:
+		return "activation"
+	case FamEltwise:
+		return "eltwise"
+	case FamCopy:
+		return "copy"
+	case FamSoftmax:
+		return "softmax"
+	case FamSort:
+		return "sort"
+	default:
+		return "unknown"
+	}
+}
+
+// Variant identifies one concrete kernel implementation.
+type Variant struct {
+	Family    Family
+	TileM     int // output-pixel tile (implicit-GEMM M)
+	TileN     int // output-channel tile (implicit-GEMM N)
+	TileK     int // reduction tile (accumulation chunk)
+	Precision tensor.Precision
+	FusedAct  bool // activation fused into the epilogue
+	NHWC      bool // weight/activation layout
+	SplitK    int  // reduction split factor (1 = none); changes accumulation order
+}
+
+// SizeClass buckets the implicit-GEMM M dimension the way TensorRT's
+// kernel names do (small / medium / large / xlarge).
+func SizeClass(m int) string {
+	switch {
+	case m <= 4096:
+		return "small"
+	case m <= 32768:
+		return "medium"
+	case m <= 262144:
+		return "large"
+	default:
+		return "xlarge"
+	}
+}
+
+// Name renders the kernel symbol in the style nvprof reports for
+// TensorRT engines (paper Table XI), parameterized by the implicit-GEMM
+// M of the layer the variant is bound to.
+func (v Variant) Name(m int) string {
+	layout := "nchw"
+	if v.NHWC {
+		layout = "nhwc"
+	}
+	act := ""
+	if v.FusedAct {
+		act = "relu_"
+	}
+	switch v.Family {
+	case FamHMMAConv:
+		return fmt.Sprintf("trt_volta_h884cudnn_%dx%d_ldg8_%sexp_%s_%s_tn_v1",
+			v.TileM, v.TileN, act, SizeClass(m), layout)
+	case FamWinograd:
+		return fmt.Sprintf("trt_volta_h884cudnn_winograd_fp16_%dx%d_ldg1_%stile148t_nt_v1",
+			v.TileM, v.TileN, act)
+	case FamCUDAConv:
+		return fmt.Sprintf("trt_volta_scudnn_%dx%d_%ssmall_nn_v1", v.TileM, v.TileN, act)
+	case FamDepthwise:
+		return "cuDepthwise::depthwiseConvHMMAPrefetchKernel"
+	case FamGEMM:
+		return fmt.Sprintf("trt_volta_h884gemm_%dx%d_ldg8_tn_v1", v.TileM, v.TileN)
+	case FamPool:
+		return "poolingForward_NCHW_kernel"
+	case FamLRN:
+		return "lrn::lrnForward_NChWH2"
+	case FamActivation:
+		return "activationForward_kernel"
+	case FamEltwise:
+		return "eltwiseSum_kernel"
+	case FamCopy:
+		return "copyPackedKernel"
+	case FamSoftmax:
+		return "softmaxForward_kernel"
+	case FamSort:
+		return "cub::DeviceSegmentedRadixSortKernel"
+	default:
+		return "unknown_kernel"
+	}
+}
+
+// hmmaTiles is the tensor-core tile menu (M x N x K). The K step is the
+// accumulation chunk: variants with different K round partial sums at
+// different boundaries, so engines that picked different tiles compute
+// (slightly) different outputs.
+var hmmaTiles = [][3]int{{64, 64, 32}, {128, 64, 64}, {256, 64, 64}, {128, 128, 32}, {256, 128, 64}}
+
+// WeightBytesFactor returns the engine-stored weight size multiplier of
+// the variant relative to the layer's FP32 weight size. Direct FP16
+// kernels store half-size weights; Winograd kernels store the 6x6
+// transformed filters (36/9 = 4x the coefficients, in FP16 -> 2x);
+// FP32 kernels keep full-size weights.
+func (v Variant) WeightBytesFactor() float64 {
+	switch v.Family {
+	case FamWinograd:
+		return 2.0
+	case FamCUDAConv:
+		return 1.0
+	default:
+		if v.Precision == tensor.FP16 {
+			return 0.5
+		}
+		if v.Precision == tensor.INT8 {
+			return 0.25
+		}
+		return 1.0
+	}
+}

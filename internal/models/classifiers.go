@@ -1,0 +1,257 @@
+package models
+
+import (
+	"fmt"
+
+	"edgeinfer/internal/graph"
+)
+
+// numClasses is the ImageNet-style classifier head width used by the
+// paper's classification networks.
+const numClasses = 1000
+
+// AlexNet builds the 5-conv/3-maxpool Caffe AlexNet (Table II row 1) with
+// the original grouped conv2/4/5 and the two LRN layers.
+func AlexNet() *graph.Graph {
+	b := graph.NewBuilder("alexnet", [4]int{1, 3, 227, 227})
+	b.Conv("conv1", 96, 11, 4, 0).ReLU("relu1").
+		LRN("norm1", 5, 1e-4, 0.75, 1).
+		MaxPool("pool1", 3, 2, 0)
+	// Grouped convolution as in the original two-GPU AlexNet.
+	b.G.Add(&graph.Layer{Name: "conv2", Op: graph.OpConv, Inputs: []string{"pool1"},
+		Conv: convP(256, 5, 1, 2, 2)})
+	b = b.From("conv2")
+	b.ReLU("relu2").LRN("norm2", 5, 1e-4, 0.75, 1).MaxPool("pool2", 3, 2, 0).
+		Conv("conv3", 384, 3, 1, 1).ReLU("relu3")
+	b.G.Add(&graph.Layer{Name: "conv4", Op: graph.OpConv, Inputs: []string{"relu3"},
+		Conv: convP(384, 3, 1, 1, 2)})
+	b = b.From("conv4")
+	b.ReLU("relu4")
+	b.G.Add(&graph.Layer{Name: "conv5", Op: graph.OpConv, Inputs: []string{"relu4"},
+		Conv: convP(256, 3, 1, 1, 2)})
+	b = b.From("conv5")
+	b.ReLU("relu5").MaxPool("pool5", 3, 2, 0).
+		FC("fc6", 4096).ReLU("relu6").Dropout("drop6").
+		FC("fc7", 4096).ReLU("relu7").Dropout("drop7").
+		FC("fc8", numClasses).Softmax("prob")
+	return b.Done()
+}
+
+// VGG16 builds the 13-conv/5-maxpool VGG-16 (Table II row 3).
+func VGG16() *graph.Graph {
+	b := graph.NewBuilder("vgg16", [4]int{1, 3, 224, 224})
+	block := func(stage, n, outC int) {
+		for i := 1; i <= n; i++ {
+			name := fmt.Sprintf("conv%d_%d", stage, i)
+			b.Conv(name, outC, 3, 1, 1).ReLU("relu" + name[4:])
+		}
+		b.MaxPool(fmt.Sprintf("pool%d", stage), 2, 2, 0)
+	}
+	block(1, 2, 64)
+	block(2, 2, 128)
+	block(3, 3, 256)
+	block(4, 3, 512)
+	block(5, 3, 512)
+	b.FC("fc6", 4096).ReLU("relu6").Dropout("drop6").
+		FC("fc7", 4096).ReLU("relu7").Dropout("drop7").
+		FC("fc8", numClasses).Softmax("prob")
+	return b.Done()
+}
+
+// ResNet18 builds the Caffe ResNet-18 in the 21-conv/2-maxpool TensorRT
+// view of Table II: the classifier is a 1x1 convolution after a 7x7 max
+// pool (how TensorRT lowers GAP+FC for this model zoo entry).
+func ResNet18() *graph.Graph {
+	b := graph.NewBuilder("resnet18", [4]int{1, 3, 224, 224})
+	b.Conv("conv1", 64, 7, 2, 3).BatchNorm("bn1").ReLU("relu1").
+		MaxPool("pool1", 3, 2, 1)
+	channels := []int{64, 128, 256, 512}
+	for s, c := range channels {
+		for blk := 0; blk < 2; blk++ {
+			stride := 1
+			if s > 0 && blk == 0 {
+				stride = 2
+			}
+			in := b.Cursor()
+			p := fmt.Sprintf("res%d%c", s+2, 'a'+blk)
+			b.Conv(p+"_conv1", c, 3, stride, 1).BatchNorm(p+"_bn1").ReLU(p+"_relu1").
+				Conv(p+"_conv2", c, 3, 1, 1).BatchNorm(p + "_bn2")
+			shortcut := in
+			if stride != 1 || s > 0 && blk == 0 {
+				sb := b.From(in)
+				sb.Conv(p+"_proj", c, 1, stride, 0).BatchNorm(p + "_projbn")
+				shortcut = sb.Cursor()
+			}
+			b.AddJoin(p+"_add", shortcut).ReLU(p + "_relu")
+		}
+	}
+	b.MaxPool("pool5", 7, 1, 0).
+		Conv("fc1000", numClasses, 1, 1, 0).Softmax("prob")
+	return b.Done()
+}
+
+// inception is the classic GoogLeNet inception module: four branches
+// (1x1; 1x1→3x3; 1x1→5x5; maxpool→1x1) concatenated on channels.
+func inception(b *graph.Builder, name, from string, c1, c3r, c3, c5r, c5, cp int) string {
+	b1 := b.From(from).Conv(name+"_1x1", c1, 1, 1, 0).ReLU(name + "_relu1x1").Cursor()
+	b2 := b.From(from).Conv(name+"_3x3r", c3r, 1, 1, 0).ReLU(name+"_relu3x3r").
+		Conv(name+"_3x3", c3, 3, 1, 1).ReLU(name + "_relu3x3").Cursor()
+	b3 := b.From(from).Conv(name+"_5x5r", c5r, 1, 1, 0).ReLU(name+"_relu5x5r").
+		Conv(name+"_5x5", c5, 5, 1, 2).ReLU(name + "_relu5x5").Cursor()
+	b4 := b.From(from).MaxPool(name+"_pool", 3, 1, 1).
+		Conv(name+"_poolproj", cp, 1, 1, 0).ReLU(name + "_relupool").Cursor()
+	b.ConcatJoin(name+"_out", b1, b2, b3, b4)
+	return name + "_out"
+}
+
+// GoogLeNet builds the 57-conv/14-maxpool BVLC GoogLeNet of Table II,
+// including the two auxiliary training classifiers. The auxiliary heads
+// are not declared as outputs, so the engine builder's dead-layer pass
+// removes them — which is why the paper's GoogLeNet engine (13.62 MB) is
+// much smaller than half the 51.05 MB model.
+func GoogLeNet() *graph.Graph {
+	b := graph.NewBuilder("googlenet", [4]int{1, 3, 224, 224})
+	b.Conv("conv1", 64, 7, 2, 3).ReLU("relu_conv1").MaxPool("pool1", 3, 2, 1).
+		LRN("norm1", 5, 1e-4, 0.75, 1).
+		Conv("conv2_reduce", 64, 1, 1, 0).ReLU("relu_conv2r").
+		Conv("conv2", 192, 3, 1, 1).ReLU("relu_conv2").
+		LRN("norm2", 5, 1e-4, 0.75, 1).
+		MaxPool("pool2", 3, 2, 1)
+	cur := inception(b, "i3a", "pool2", 64, 96, 128, 16, 32, 32)
+	cur = inception(b, "i3b", cur, 128, 128, 192, 32, 96, 64)
+	cur = b.From(cur).MaxPool("pool3", 3, 2, 1).Cursor()
+	cur = inception(b, "i4a", cur, 192, 96, 208, 16, 48, 64)
+	auxHead(b, "aux1", cur)
+	cur = inception(b, "i4b", cur, 160, 112, 224, 24, 64, 64)
+	cur = inception(b, "i4c", cur, 128, 128, 256, 24, 64, 64)
+	cur = inception(b, "i4d", cur, 112, 144, 288, 32, 64, 64)
+	auxHead(b, "aux2", cur)
+	cur = inception(b, "i4e", cur, 256, 160, 320, 32, 128, 128)
+	cur = b.From(cur).MaxPool("pool4", 3, 2, 1).Cursor()
+	cur = inception(b, "i5a", cur, 256, 160, 320, 32, 128, 128)
+	cur = inception(b, "i5b", cur, 384, 192, 384, 48, 128, 128)
+	b.From(cur).MaxPool("pool5", 7, 1, 0).Dropout("drop").
+		FC("loss3_classifier", numClasses).Softmax("prob")
+	b.G.Outputs = []string{"prob"}
+	return b.Done()
+}
+
+// auxHead attaches a GoogLeNet auxiliary classifier (training-only). The
+// Caffe original bottlenecks through a 1x1 conv before its FCs; here the
+// head is FC-only with an equivalent parameter budget so the Table II
+// conv count (57) matches the TensorRT view of the model.
+func auxHead(b *graph.Builder, name, from string) {
+	b.From(from).AvgPool(name+"_pool", 5, 3, 0).
+		FC(name+"_fc1", 300).ReLU(name+"_relufc").Dropout(name+"_drop").
+		FC(name+"_fc2", numClasses).Softmax(name + "_prob")
+}
+
+// InceptionV4 builds the 149-conv/19-maxpool Inception-v4 of Table II.
+// Asymmetric 1x7/7x1 factorized convolutions are approximated by square
+// 3x3 convolutions (the IR supports square kernels), preserving the layer
+// count; the paper's Caffe port pools with max pooling in the block
+// branches, which is followed here.
+func InceptionV4() *graph.Graph {
+	b := graph.NewBuilder("inceptionv4", [4]int{1, 3, 299, 299})
+
+	// Stem: 11 convs, 2 maxpools, ending at 384 channels, 35x35.
+	b.Conv("stem_c1", 32, 3, 2, 0).ReLU("stem_r1").
+		Conv("stem_c2", 32, 3, 1, 0).ReLU("stem_r2").
+		Conv("stem_c3", 64, 3, 1, 1).ReLU("stem_r3")
+	p1 := b.From("stem_r3").MaxPool("stem_pool1", 3, 2, 0).Cursor()
+	c1 := b.From("stem_r3").Conv("stem_c4", 96, 3, 2, 0).ReLU("stem_r4").Cursor()
+	b.ConcatJoin("stem_cat1", p1, c1) // 160ch @ 73
+	l := b.From("stem_cat1").Conv("stem_c5", 64, 1, 1, 0).ReLU("stem_r5").
+		Conv("stem_c6", 96, 3, 1, 0).ReLU("stem_r6").Cursor()
+	r := b.From("stem_cat1").Conv("stem_c7", 64, 1, 1, 0).ReLU("stem_r7").
+		Conv("stem_c8", 64, 3, 1, 1).ReLU("stem_r8").
+		Conv("stem_c9", 64, 3, 1, 1).ReLU("stem_r9").
+		Conv("stem_c10", 96, 3, 1, 0).ReLU("stem_r10").Cursor()
+	b.ConcatJoin("stem_cat2", l, r) // 192ch @ 71
+	c2 := b.From("stem_cat2").Conv("stem_c11", 192, 3, 2, 0).ReLU("stem_r11").Cursor()
+	p2 := b.From("stem_cat2").MaxPool("stem_pool2", 3, 2, 0).Cursor()
+	b.ConcatJoin("stem_out", c2, p2) // 384ch @ 35
+	cur := "stem_out"
+
+	// 4 x Inception-A: 7 convs + 1 pool each.
+	for i := 1; i <= 4; i++ {
+		cur = inceptionA(b, fmt.Sprintf("a%d", i), cur)
+	}
+	// Reduction-A: 4 convs + 1 pool -> 1024ch @ 17.
+	ra1 := b.From(cur).Conv("ra_c1", 384, 3, 2, 0).ReLU("ra_r1").Cursor()
+	ra2 := b.From(cur).Conv("ra_c2", 192, 1, 1, 0).ReLU("ra_r2").
+		Conv("ra_c3", 224, 3, 1, 1).ReLU("ra_r3").
+		Conv("ra_c4", 256, 3, 2, 0).ReLU("ra_r4").Cursor()
+	ra3 := b.From(cur).MaxPool("ra_pool", 3, 2, 0).Cursor()
+	b.ConcatJoin("ra_out", ra1, ra2, ra3)
+	cur = "ra_out"
+
+	// 7 x Inception-B: 10 convs + 1 pool each.
+	for i := 1; i <= 7; i++ {
+		cur = inceptionB(b, fmt.Sprintf("b%d", i), cur)
+	}
+	// Reduction-B: 6 convs + 1 pool -> 1536ch @ 8.
+	rb1 := b.From(cur).Conv("rb_c1", 192, 1, 1, 0).ReLU("rb_r1").
+		Conv("rb_c2", 192, 3, 2, 0).ReLU("rb_r2").Cursor()
+	rb2 := b.From(cur).Conv("rb_c3", 256, 1, 1, 0).ReLU("rb_r3").
+		Conv("rb_c4", 256, 3, 1, 1).ReLU("rb_r4").
+		Conv("rb_c5", 320, 3, 1, 1).ReLU("rb_r5").
+		Conv("rb_c6", 320, 3, 2, 0).ReLU("rb_r6").Cursor()
+	rb3 := b.From(cur).MaxPool("rb_pool", 3, 2, 0).Cursor()
+	b.ConcatJoin("rb_out", rb1, rb2, rb3)
+	cur = "rb_out"
+
+	// 3 x Inception-C: 10 convs + 1 pool each.
+	for i := 1; i <= 3; i++ {
+		cur = inceptionC(b, fmt.Sprintf("c%d", i), cur)
+	}
+	b.From(cur).MaxPool("pool_final", 8, 1, 0).Dropout("drop").
+		FC("classifier", numClasses).Softmax("prob")
+	b.G.Outputs = []string{"prob"}
+	return b.Done()
+}
+
+func inceptionA(b *graph.Builder, name, from string) string {
+	b1 := b.From(from).Conv(name+"_b1c1", 96, 1, 1, 0).ReLU(name + "_b1r1").Cursor()
+	b2 := b.From(from).Conv(name+"_b2c1", 64, 1, 1, 0).ReLU(name+"_b2r1").
+		Conv(name+"_b2c2", 96, 3, 1, 1).ReLU(name + "_b2r2").Cursor()
+	b3 := b.From(from).Conv(name+"_b3c1", 64, 1, 1, 0).ReLU(name+"_b3r1").
+		Conv(name+"_b3c2", 96, 3, 1, 1).ReLU(name+"_b3r2").
+		Conv(name+"_b3c3", 96, 3, 1, 1).ReLU(name + "_b3r3").Cursor()
+	b4 := b.From(from).MaxPool(name+"_pool", 3, 1, 1).
+		Conv(name+"_b4c1", 96, 1, 1, 0).ReLU(name + "_b4r1").Cursor()
+	b.ConcatJoin(name+"_out", b1, b2, b3, b4) // 384ch
+	return name + "_out"
+}
+
+func inceptionB(b *graph.Builder, name, from string) string {
+	b1 := b.From(from).Conv(name+"_b1c1", 384, 1, 1, 0).ReLU(name + "_b1r1").Cursor()
+	b2 := b.From(from).Conv(name+"_b2c1", 192, 1, 1, 0).ReLU(name+"_b2r1").
+		Conv(name+"_b2c2", 160, 3, 1, 1).ReLU(name+"_b2r2").
+		Conv(name+"_b2c3", 256, 3, 1, 1).ReLU(name + "_b2r3").Cursor()
+	b3 := b.From(from).Conv(name+"_b3c1", 192, 1, 1, 0).ReLU(name+"_b3r1").
+		Conv(name+"_b3c2", 160, 3, 1, 1).ReLU(name+"_b3r2").
+		Conv(name+"_b3c3", 160, 3, 1, 1).ReLU(name+"_b3r3").
+		Conv(name+"_b3c4", 176, 3, 1, 1).ReLU(name+"_b3r4").
+		Conv(name+"_b3c5", 256, 3, 1, 1).ReLU(name + "_b3r5").Cursor()
+	b4 := b.From(from).MaxPool(name+"_pool", 3, 1, 1).
+		Conv(name+"_b4c1", 128, 1, 1, 0).ReLU(name + "_b4r1").Cursor()
+	b.ConcatJoin(name+"_out", b1, b2, b3, b4) // 1024ch
+	return name + "_out"
+}
+
+func inceptionC(b *graph.Builder, name, from string) string {
+	b1 := b.From(from).Conv(name+"_b1c1", 256, 1, 1, 0).ReLU(name + "_b1r1").Cursor()
+	b2 := b.From(from).Conv(name+"_b2c1", 256, 1, 1, 0).ReLU(name + "_b2r1").Cursor()
+	b2a := b.From(b2).Conv(name+"_b2c2", 256, 3, 1, 1).ReLU(name + "_b2r2").Cursor()
+	b2b := b.From(b2).Conv(name+"_b2c3", 256, 3, 1, 1).ReLU(name + "_b2r3").Cursor()
+	b3 := b.From(from).Conv(name+"_b3c1", 256, 1, 1, 0).ReLU(name+"_b3r1").
+		Conv(name+"_b3c2", 288, 3, 1, 1).ReLU(name+"_b3r2").
+		Conv(name+"_b3c3", 320, 3, 1, 1).ReLU(name + "_b3r3").Cursor()
+	b3a := b.From(b3).Conv(name+"_b3c4", 256, 3, 1, 1).ReLU(name + "_b3r4").Cursor()
+	b3b := b.From(b3).Conv(name+"_b3c5", 256, 3, 1, 1).ReLU(name + "_b3r5").Cursor()
+	b4 := b.From(from).MaxPool(name+"_pool", 3, 1, 1).
+		Conv(name+"_b4c1", 256, 1, 1, 0).ReLU(name + "_b4r1").Cursor()
+	b.ConcatJoin(name+"_out", b1, b2a, b2b, b3a, b3b, b4) // 1536ch
+	return name + "_out"
+}

@@ -1,0 +1,162 @@
+package models
+
+import (
+	"fmt"
+
+	"edgeinfer/internal/dataset"
+	"edgeinfer/internal/graph"
+	"edgeinfer/internal/tensor"
+)
+
+// Numeric detection proxy: a DetectNet-style coverage network scaled to
+// the synthetic traffic scenes. A matched box filter (zero-mean, so the
+// road background cancels) convolves the scene at stride 2 and a sigmoid
+// turns the response into per-cell coverage — the same coverage+decode
+// structure as the zoo's DetectNet family, small enough to compute.
+// Box decoding, NMS and class assignment live in internal/detect and
+// ClassifyBoxIntensity below.
+
+// DetectorStride is the coverage-map stride of the detection proxy.
+const DetectorStride = 2
+
+// detectorKernel is the local-average filter size.
+const detectorKernel = 3
+
+// detectorGain and detectorBias shape the sigmoid: coverage fires when
+// the local 3x3 brightness average exceeds ~0.42 — vehicles render at
+// 0.5-1.0 against a 0-0.3 road background.
+const (
+	detectorGain = 20.0
+	detectorBias = -20.0 * 0.42
+)
+
+// featureChannels is the width of the intermediate feature map. The
+// reduction depth of the head conv (72 > the kernels' 32/64 TileK steps)
+// is what lets different tuned variants round partial sums differently —
+// the engine-consistency phenomenon needs a deep enough reduction.
+const featureChannels = 72
+
+// BuildDetectorProxy constructs the numeric detection proxy for the
+// synthetic traffic scenes of dataset.Generate: input [1, 3, hw, hw],
+// a 72-channel brightness feature bank, and a 1x1 head producing a
+// [1, 1, hw/2, hw/2] coverage map.
+func BuildDetectorProxy(name string, sceneHW int) (*graph.Graph, error) {
+	if sceneHW < 8*detectorKernel {
+		return nil, fmt.Errorf("models: scene size %d too small for the detector proxy", sceneHW)
+	}
+	g := graph.New(name, [4]int{1, dataset.ImgC, sceneHW, sceneHW})
+	g.Task = "detection"
+	g.Framework = "caffe"
+	g.Add(&graph.Layer{
+		Name: "features", Op: graph.OpConv, Inputs: []string{"data"},
+		Conv:    tensor.ConvParams{OutC: featureChannels, Kernel: detectorKernel, Stride: DetectorStride, Pad: detectorKernel / 2, Groups: 1},
+		Weights: map[string]*tensor.Tensor{"w": featureBank(), "b": tensor.NewVec(featureChannels)},
+	})
+	g.Add(&graph.Layer{
+		Name: "coverage_conv", Op: graph.OpConv, Inputs: []string{"features"},
+		Conv:    tensor.ConvParams{OutC: 1, Kernel: 1, Stride: 1, Pad: 0, Groups: 1},
+		Weights: map[string]*tensor.Tensor{"w": headWeights(), "b": biasVec()},
+	})
+	g.Add(&graph.Layer{Name: "coverage", Op: graph.OpSigmoid, Inputs: []string{"coverage_conv"}})
+	g.Outputs = []string{"coverage"}
+	if err := g.Finalize(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// featureBank replicates the brightness filter across featureChannels
+// with deterministic per-channel scale jitter (a trained feature bank's
+// redundancy); the head averages the scales back out.
+func featureBank() *tensor.Tensor {
+	base := matchedBoxFilter()
+	w := tensor.New(featureChannels, dataset.ImgC, detectorKernel, detectorKernel)
+	per := base.Len()
+	for j := 0; j < featureChannels; j++ {
+		scale := channelScale(j)
+		for i := 0; i < per; i++ {
+			w.Data[j*per+i] = base.Data[i] * scale
+		}
+	}
+	return w
+}
+
+// headWeights averages the feature bank back to one brightness estimate.
+func headWeights() *tensor.Tensor {
+	w := tensor.New(1, featureChannels, 1, 1)
+	for j := 0; j < featureChannels; j++ {
+		w.Data[j] = 1 / (float32(featureChannels) * channelScale(j))
+	}
+	return w
+}
+
+// channelScale is the deterministic per-channel jitter in [0.85, 1.15].
+func channelScale(j int) float32 {
+	return 0.85 + 0.3*float32(j)/float32(featureChannels-1)
+}
+
+// matchedBoxFilter builds the brightness filter: a gained 3x3 local
+// average over all channels. Vehicles (0.5-1.0) push the sigmoid to ~1;
+// road background (<0.35 after averaging) stays near 0.
+func matchedBoxFilter() *tensor.Tensor {
+	k := detectorKernel
+	w := tensor.New(1, dataset.ImgC, k, k)
+	for c := 0; c < dataset.ImgC; c++ {
+		for y := 0; y < k; y++ {
+			for x := 0; x < k; x++ {
+				w.Set(0, c, y, x, float32(detectorGain)/float32(k*k*dataset.ImgC))
+			}
+		}
+	}
+	return w
+}
+
+// biasVec shifts the sigmoid threshold (see detectorBias).
+func biasVec() *tensor.Tensor {
+	b := tensor.NewVec(1)
+	b.Data[0] = detectorBias
+	return b
+}
+
+// ClassifyBoxIntensity assigns a vehicle class to a detected box by the
+// mean pixel intensity inside it — the synthetic scenes encode class as
+// brightness (dataset.Generate), standing in for DetectNet's per-class
+// coverage channels.
+func ClassifyBoxIntensity(img *tensor.Tensor, x, y, w, h int) dataset.VehicleClass {
+	var sum float64
+	n := 0
+	for c := 0; c < img.C; c++ {
+		for yy := y; yy < y+h && yy < img.H; yy++ {
+			if yy < 0 {
+				continue
+			}
+			for xx := x; xx < x+w && xx < img.W; xx++ {
+				if xx < 0 {
+					continue
+				}
+				sum += float64(img.At(0, c, yy, xx))
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return dataset.Car
+	}
+	mean := sum / float64(n)
+	// Scene intensity encoding: val = 0.5 + 0.5*class/4.
+	best, bi := 1e9, 0
+	for cls := 0; cls < 5; cls++ {
+		val := 0.5 + 0.5*float64(cls)/4
+		if d := abs64(mean - val); d < best {
+			best, bi = d, cls
+		}
+	}
+	return dataset.VehicleClass(bi)
+}
+
+func abs64(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,253 @@
+package models
+
+import (
+	"fmt"
+
+	"edgeinfer/internal/graph"
+	"edgeinfer/internal/tensor"
+)
+
+// convP is shorthand for grouped convolution parameters.
+func convP(outC, k, s, p, groups int) tensor.ConvParams {
+	return tensor.ConvParams{OutC: outC, Kernel: k, Stride: s, Pad: p, Groups: groups}
+}
+
+// detectNetBackbone builds the GoogLeNet-FCN detection network that
+// DetectNet, PedNet and FaceNet share (Table II: 59 conv, 12 max pool,
+// 22.82 MB each): the GoogLeNet stem and nine inception modules kept
+// fully convolutional (no pool4/pool5, no classifier), with a coverage
+// head and a bounding-box regression head.
+func detectNetBackbone(name string, inputHW int) *graph.Graph {
+	b := graph.NewBuilder(name, [4]int{1, 3, inputHW, inputHW})
+	b.Conv("conv1", 64, 7, 2, 3).ReLU("relu_conv1").MaxPool("pool1", 3, 2, 1).
+		Conv("conv2_reduce", 64, 1, 1, 0).ReLU("relu_conv2r").
+		Conv("conv2", 192, 3, 1, 1).ReLU("relu_conv2").
+		MaxPool("pool2", 3, 2, 1)
+	cur := inception(b, "i3a", "pool2", 64, 96, 128, 16, 32, 32)
+	cur = inception(b, "i3b", cur, 128, 128, 192, 32, 96, 64)
+	cur = b.From(cur).MaxPool("pool3", 3, 2, 1).Cursor()
+	cur = inception(b, "i4a", cur, 192, 96, 208, 16, 48, 64)
+	cur = inception(b, "i4b", cur, 160, 112, 224, 24, 64, 64)
+	cur = inception(b, "i4c", cur, 128, 128, 256, 24, 64, 64)
+	cur = inception(b, "i4d", cur, 112, 144, 288, 32, 64, 64)
+	cur = inception(b, "i4e", cur, 256, 160, 320, 32, 128, 128)
+	cur = inception(b, "i5a", cur, 256, 160, 320, 32, 128, 128)
+	cur = inception(b, "i5b", cur, 384, 192, 384, 48, 128, 128)
+	// DetectNet heads: per-cell coverage confidence and box regression.
+	cov := b.From(cur).Conv("coverage", 1, 1, 1, 0).Sigmoid("coverage_sig").Cursor()
+	bbox := b.From(cur).Conv("bboxes", 4, 1, 1, 0).Cursor()
+	b.G.Outputs = []string{cov, bbox}
+	g := b.Done()
+	g.Task = "detection"
+	return g
+}
+
+// DetectNetCocoDog builds the DetectNet dog detector (Table II row 7).
+func DetectNetCocoDog() *graph.Graph { return detectNetBackbone("detectnet-coco-dog", 480) }
+
+// PedNet builds the multi-ped DetectNet variant (Table II row 8).
+func PedNet() *graph.Graph { return detectNetBackbone("pednet", 512) }
+
+// FaceNet builds the face-detection DetectNet variant (Table II row 10).
+func FaceNet() *graph.Graph { return detectNetBackbone("facenet", 360) }
+
+// TinyYOLOv3 builds the 13-conv/6-maxpool Darknet Tiny-YOLOv3 (Table II
+// row 9) with its two detection heads and the upsample+route branch.
+func TinyYOLOv3() *graph.Graph {
+	b := graph.NewBuilder("tiny-yolov3", [4]int{1, 3, 416, 416})
+	c := 16
+	for i := 1; i <= 5; i++ {
+		b.Conv(fmt.Sprintf("conv%d", i), c, 3, 1, 1).
+			BatchNorm(fmt.Sprintf("bn%d", i)).
+			LeakyReLU(fmt.Sprintf("leaky%d", i), 0.1).
+			MaxPool(fmt.Sprintf("pool%d", i), 2, 2, 0)
+		c *= 2
+	}
+	// conv5 output (256ch @ 26x26) feeds the route to the second head.
+	route26 := "leaky5"
+	_ = route26
+	b.From("pool5").Conv("conv6", 512, 3, 1, 1).BatchNorm("bn6").LeakyReLU("leaky6", 0.1).
+		MaxPool("pool6", 3, 1, 1). // stride-1 pool, keeps 13x13
+		Conv("conv7", 1024, 3, 1, 1).BatchNorm("bn7").LeakyReLU("leaky7", 0.1).
+		Conv("conv8", 256, 1, 1, 0).BatchNorm("bn8").LeakyReLU("leaky8", 0.1)
+	// Head 1 at 13x13.
+	b.From("leaky8").Conv("conv9", 512, 3, 1, 1).BatchNorm("bn9").LeakyReLU("leaky9", 0.1).
+		Conv("conv10", 255, 1, 1, 0)
+	// Head 2: upsample to 26x26 and route with conv5's features.
+	b.From("leaky8").Conv("conv11", 128, 1, 1, 0).BatchNorm("bn11").LeakyReLU("leaky11", 0.1).
+		Upsample("upsample")
+	b.ConcatJoin("route", "upsample", "leaky5")
+	b.From("route").Conv("conv12", 256, 3, 1, 1).BatchNorm("bn12").LeakyReLU("leaky12", 0.1).
+		Conv("conv13", 255, 1, 1, 0)
+	b.G.Outputs = []string{"conv10", "conv13"}
+	g := b.Done()
+	return g
+}
+
+// MobileNetV1 builds the SSD-MobileNet-v1 detector of Table II row 11:
+// the 27-conv depthwise-separable backbone plus a combined detection head
+// (28 conv, 1 max pool).
+func MobileNetV1() *graph.Graph {
+	b := graph.NewBuilder("mobilenetv1", [4]int{1, 3, 320, 320})
+	b.Conv("conv0", 32, 3, 2, 1).BatchNorm("bn0").ReLU("relu0")
+	type sep struct{ outC, stride int }
+	blocks := []sep{
+		{64, 1}, {128, 2}, {128, 1}, {256, 2}, {256, 1}, {512, 2},
+		{512, 1}, {512, 1}, {512, 1}, {512, 1}, {512, 1}, {1024, 2}, {1024, 1},
+	}
+	inC := 32
+	for i, blk := range blocks {
+		dw := fmt.Sprintf("conv%d_dw", i+1)
+		pw := fmt.Sprintf("conv%d_pw", i+1)
+		b.G.Add(&graph.Layer{Name: dw, Op: graph.OpConv, Inputs: []string{b.Cursor()},
+			Conv: convP(inC, 3, blk.stride, 1, inC)})
+		b = b.From(dw)
+		b.BatchNorm(dw+"_bn").ReLU(dw+"_relu").
+			Conv(pw, blk.outC, 1, 1, 0).BatchNorm(pw + "_bn").ReLU(pw + "_relu")
+		inC = blk.outC
+	}
+	// SSD-style head: a single 3x3 predictor over the final 10x10 grid
+	// (6 anchors x (4 box + 39 class logits)).
+	b.MaxPool("pool_head", 3, 1, 1).
+		Conv("head_pred", 258, 3, 1, 1)
+	b.G.Outputs = []string{"head_pred"}
+	return b.Done()
+}
+
+// SSDInceptionV2 builds the TensorFlow SSD-Inception-v2 detector of
+// Table II row 6 (90 conv, 12 max pool): an Inception-v2-style backbone
+// of eleven modules, two SSD extra-feature stages and six predictor
+// convolutions.
+func SSDInceptionV2() *graph.Graph {
+	b := graph.NewBuilder("ssd-inceptionv2", [4]int{1, 3, 300, 300})
+	b.Conv("conv1", 64, 7, 2, 3).ReLU("relu1").MaxPool("pool1", 3, 2, 1).
+		Conv("conv2_reduce", 64, 1, 1, 0).ReLU("relu2r").
+		Conv("conv2", 192, 3, 2, 1).ReLU("relu2") // stride-2 conv in place of pool2
+	cur := "relu2"
+	// Eleven inception-v2 modules (7 conv + 1 max pool each = 77 conv,
+	// 11 pools -> 80 conv / 13 pools with the stem... the last module set
+	// uses stride-2 pools inside the module chain below).
+	type mod struct {
+		c1, c3r, c3, d3r, d3, cp int
+	}
+	mods := []mod{
+		{64, 64, 64, 64, 96, 32},
+		{64, 64, 96, 64, 96, 64},
+		{160, 64, 96, 96, 128, 64},
+		{224, 64, 96, 96, 128, 128},
+		{192, 96, 128, 96, 128, 128},
+		{160, 128, 160, 128, 160, 96},
+		{96, 128, 192, 160, 192, 96},
+		{352, 192, 320, 160, 224, 128},
+		{352, 192, 320, 192, 224, 128},
+		{352, 192, 320, 192, 224, 128},
+		{352, 192, 320, 192, 224, 128},
+	}
+	for i, m := range mods {
+		name := fmt.Sprintf("m%d", i+1)
+		stridePool := i == 3 || i == 7 // downscale entering modules 5 and 9
+		cur = inceptionV2(b, name, cur, m, stridePool)
+	}
+	feat1 := cur // final backbone feature map
+	// SSD extra feature layers: two 1x1 + 3x3/2 pairs.
+	b.From(feat1).Conv("extra1_1", 256, 1, 1, 0).ReLU("extra1_relu1").
+		Conv("extra1_2", 512, 3, 2, 1).ReLU("extra1_relu2")
+	feat2 := "extra1_relu2"
+	b.From(feat2).Conv("extra2_1", 128, 1, 1, 0).ReLU("extra2_relu1").
+		Conv("extra2_2", 256, 3, 2, 1).ReLU("extra2_relu2")
+	feat3 := "extra2_relu2"
+	// Predictors: class + box conv per feature map.
+	var outs []string
+	for i, f := range []string{feat1, feat2, feat3} {
+		cls := fmt.Sprintf("cls%d", i+1)
+		box := fmt.Sprintf("box%d", i+1)
+		b.From(f).Conv(cls, 546, 3, 1, 1) // 6 anchors x 91 COCO classes
+		b.From(f).Conv(box, 24, 3, 1, 1)  // 6 anchors x 4
+		outs = append(outs, cls, box)
+	}
+	b.G.Outputs = outs
+	return b.Done()
+}
+
+// inceptionV2 adds one inception-v2 module: 1x1; 1x1-3x3; 1x1-3x3-3x3;
+// maxpool-1x1 (7 convs, 1 max pool). When stridePool is set the module's
+// convs and pool use stride 2 (the "reduction" modules).
+func inceptionV2(b *graph.Builder, name, from string, m struct{ c1, c3r, c3, d3r, d3, cp int }, stridePool bool) string {
+	s := 1
+	if stridePool {
+		s = 2
+	}
+	var branches []string
+	if !stridePool { // reduction modules drop the plain 1x1 branch
+		b1 := b.From(from).Conv(name+"_1x1", m.c1, 1, 1, 0).ReLU(name + "_r1").Cursor()
+		branches = append(branches, b1)
+	} else { // keep conv count at 7: give the double-3x3 branch a third conv
+		b1 := b.From(from).Conv(name+"_1x1r", m.c1, 1, 1, 0).ReLU(name+"_r1a").
+			Conv(name+"_1x1s", m.c1, 3, s, 1).ReLU(name + "_r1b").Cursor()
+		branches = append(branches, b1)
+	}
+	b2 := b.From(from).Conv(name+"_3x3r", m.c3r, 1, 1, 0).ReLU(name+"_r2a").
+		Conv(name+"_3x3", m.c3, 3, s, 1).ReLU(name + "_r2b").Cursor()
+	branches = append(branches, b2)
+	if !stridePool {
+		b3 := b.From(from).Conv(name+"_d3r", m.d3r, 1, 1, 0).ReLU(name+"_r3a").
+			Conv(name+"_d3a", m.d3, 3, 1, 1).ReLU(name+"_r3b").
+			Conv(name+"_d3b", m.d3, 3, s, 1).ReLU(name + "_r3c").Cursor()
+		branches = append(branches, b3)
+	} else {
+		b3 := b.From(from).Conv(name+"_d3r", m.d3r, 1, 1, 0).ReLU(name+"_r3a").
+			Conv(name+"_d3b", m.d3, 3, s, 1).ReLU(name + "_r3c").Cursor()
+		branches = append(branches, b3)
+	}
+	pool := b.From(from).MaxPool(name+"_pool", 3, s, 1).Cursor()
+	if m.cp > 0 {
+		pool = b.From(pool).Conv(name+"_poolproj", m.cp, 1, 1, 0).ReLU(name + "_r4").Cursor()
+	}
+	b.ConcatJoin(name+"_out", append(branches, pool)...)
+	return name + "_out"
+}
+
+// MTCNN builds the three-stage face-detection cascade of Table II row 12
+// (12 conv, 6 max pool, 1.9 MB) as a single graph: the P-Net runs on a
+// 4x-downscaled view, the R-Net on a 2x view and the O-Net at full
+// resolution, mirroring how the cascade's stages see the image pyramid.
+func MTCNN() *graph.Graph {
+	b := graph.NewBuilder("mtcnn", [4]int{1, 3, 48, 48})
+
+	// P-Net (fully convolutional) on a 12x12 view.
+	p := b.From("data").AvgPool("pnet_scale", 4, 4, 0).
+		Conv("pnet_conv1", 10, 3, 1, 0).ReLU("pnet_relu1").
+		MaxPool("pnet_pool1", 2, 2, 0).
+		Conv("pnet_conv2", 16, 3, 1, 0).ReLU("pnet_relu2").
+		Conv("pnet_conv3", 32, 3, 1, 0).ReLU("pnet_relu3").Cursor()
+	pCls := b.From(p).Conv("pnet_cls", 2, 1, 1, 0).Softmax("pnet_prob").Cursor()
+	pBox := b.From(p).Conv("pnet_box", 4, 1, 1, 0).Cursor()
+
+	// R-Net on a 24x24 view.
+	r := b.From("data").AvgPool("rnet_scale", 2, 2, 0).
+		Conv("rnet_conv1", 28, 3, 1, 0).ReLU("rnet_relu1").
+		MaxPool("rnet_pool1", 3, 2, 0).
+		Conv("rnet_conv2", 48, 3, 1, 0).ReLU("rnet_relu2").
+		MaxPool("rnet_pool2", 3, 2, 0).
+		Conv("rnet_conv3", 64, 2, 1, 0).ReLU("rnet_relu3").
+		FC("rnet_fc", 224).ReLU("rnet_relu4").Cursor()
+	rCls := b.From(r).FC("rnet_cls", 2).Softmax("rnet_prob").Cursor()
+	rBox := b.From(r).FC("rnet_box", 4).Cursor()
+
+	// O-Net at 48x48.
+	o := b.From("data").
+		Conv("onet_conv1", 32, 3, 1, 0).ReLU("onet_relu1").
+		MaxPool("onet_pool1", 3, 2, 0).
+		Conv("onet_conv2", 64, 3, 1, 0).ReLU("onet_relu2").
+		MaxPool("onet_pool2", 3, 2, 0).
+		Conv("onet_conv3", 64, 3, 1, 0).ReLU("onet_relu3").
+		MaxPool("onet_pool3", 2, 2, 0).
+		Conv("onet_conv4", 128, 2, 1, 0).ReLU("onet_relu4").
+		FC("onet_fc", 448).ReLU("onet_relu5").Cursor()
+	oCls := b.From(o).FC("onet_cls", 2).Softmax("onet_prob").Cursor()
+	oBox := b.From(o).FC("onet_box", 4).Cursor()
+	oLmk := b.From(o).FC("onet_landmarks", 10).Cursor()
+
+	b.G.Outputs = []string{pCls, pBox, rCls, rBox, oCls, oBox, oLmk}
+	return b.Done()
+}

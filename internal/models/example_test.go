@@ -1,0 +1,33 @@
+package models_test
+
+import (
+	"fmt"
+
+	"edgeinfer/internal/graph"
+	"edgeinfer/internal/models"
+)
+
+// The zoo holds the paper's 13 networks in Table II order.
+func ExampleList() {
+	names := models.List()
+	fmt.Println(len(names), "models")
+	fmt.Println("first:", names[0])
+	fmt.Println("last: ", names[len(names)-1])
+	// Output:
+	// 13 models
+	// first: alexnet
+	// last:  fcn-resnet18-cityscapes
+}
+
+// Full-scale graphs carry the paper's exact layer counts.
+func ExampleBuild() {
+	g, err := models.Build("inceptionv4")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	ops := g.CountOps()
+	fmt.Printf("%d conv, %d max pool\n", ops[graph.OpConv], ops[graph.OpMaxPool])
+	// Output:
+	// 149 conv, 19 max pool
+}

@@ -1,0 +1,237 @@
+package models
+
+import (
+	"math"
+	"testing"
+
+	"edgeinfer/internal/graph"
+)
+
+// tableII is the paper's Table II: conv/maxpool layer counts and
+// un-optimized model sizes in MB.
+var tableII = []struct {
+	name     string
+	conv     int
+	maxpool  int
+	sizeMB   float64
+	task     string
+	framewrk string
+}{
+	{"alexnet", 5, 3, 232.56, "classification", "caffe"},
+	{"resnet18", 21, 2, 44.65, "classification", "caffe"},
+	{"vgg16", 13, 5, 527.8, "classification", "caffe"},
+	{"inceptionv4", 149, 19, 163.12, "classification", "caffe"},
+	{"googlenet", 57, 14, 51.05, "classification", "caffe"},
+	{"ssd-inceptionv2", 90, 12, 95.58, "detection", "tensorflow"},
+	{"detectnet-coco-dog", 59, 12, 22.82, "detection", "caffe"},
+	{"pednet", 59, 12, 22.82, "detection", "caffe"},
+	{"tiny-yolov3", 13, 6, 33.1, "detection", "darknet"},
+	{"facenet", 59, 12, 22.82, "detection", "caffe"},
+	{"mobilenetv1", 28, 1, 26.07, "detection", "tensorflow"},
+	{"mtcnn", 12, 6, 1.9, "detection", "caffe"},
+	{"fcn-resnet18-cityscapes", 22, 1, 44.95, "segmentation", "pytorch"},
+}
+
+func TestZooMatchesTableII(t *testing.T) {
+	for _, row := range tableII {
+		g, err := Build(row.name)
+		if err != nil {
+			t.Fatalf("%s: %v", row.name, err)
+		}
+		ops := g.CountOps()
+		if ops[graph.OpConv] != row.conv {
+			t.Errorf("%s: %d conv layers, Table II says %d", row.name, ops[graph.OpConv], row.conv)
+		}
+		if ops[graph.OpMaxPool] != row.maxpool {
+			t.Errorf("%s: %d max pools, Table II says %d", row.name, ops[graph.OpMaxPool], row.maxpool)
+		}
+		sizeMB := float64(g.ModelSizeBytes()) / 1e6
+		rel := math.Abs(sizeMB-row.sizeMB) / row.sizeMB
+		if rel > 0.20 {
+			t.Errorf("%s: model size %.2f MB vs Table II %.2f MB (%.0f%% off)",
+				row.name, sizeMB, row.sizeMB, rel*100)
+		}
+		if g.Task != row.task || g.Framework != row.framewrk {
+			t.Errorf("%s: task/framework %s/%s want %s/%s", row.name, g.Task, g.Framework, row.task, row.framewrk)
+		}
+	}
+}
+
+func TestListOrderAndLookup(t *testing.T) {
+	names := List()
+	if len(names) != 13 {
+		t.Fatalf("%d models, want 13", len(names))
+	}
+	if names[0] != "alexnet" || names[12] != "fcn-resnet18-cityscapes" {
+		t.Fatalf("order wrong: %v", names)
+	}
+	if _, err := Lookup("nonexistent"); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	if _, err := Build("nonexistent"); err == nil {
+		t.Fatal("unknown model built")
+	}
+}
+
+func TestMustBuildPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuild did not panic")
+		}
+	}()
+	MustBuild("nonexistent")
+}
+
+func TestAllModelsFinalize(t *testing.T) {
+	for _, name := range List() {
+		g := MustBuild(name)
+		if !g.Finalized() {
+			t.Errorf("%s not finalized", name)
+		}
+		if g.TotalFLOPs() <= 0 {
+			t.Errorf("%s has non-positive FLOPs", name)
+		}
+		if len(g.Outputs) == 0 {
+			t.Errorf("%s has no outputs", name)
+		}
+	}
+}
+
+func TestGoogLeNetAuxHeadsAreDead(t *testing.T) {
+	g := MustBuild("googlenet")
+	if len(g.Outputs) != 1 || g.Outputs[0] != "prob" {
+		t.Fatalf("googlenet outputs %v", g.Outputs)
+	}
+	// The aux classifiers exist in the un-optimized model...
+	if g.Layer("aux1_fc1") == nil || g.Layer("aux2_fc2") == nil {
+		t.Fatal("aux heads missing from the un-optimized googlenet")
+	}
+	// ...and hold a large fraction of its parameters (the paper's
+	// GoogLeNet engine is ~13.6MB vs a 51MB model because they die).
+	aux := g.ParamCount(g.Layer("aux1_fc1")) + g.ParamCount(g.Layer("aux1_fc2")) +
+		g.ParamCount(g.Layer("aux2_fc1")) + g.ParamCount(g.Layer("aux2_fc2"))
+	if frac := float64(aux) / float64(g.TotalParams()); frac < 0.3 {
+		t.Errorf("aux heads hold only %.0f%% of params", frac*100)
+	}
+}
+
+func TestDetectNetFamilySharesStructure(t *testing.T) {
+	ped, face := MustBuild("pednet"), MustBuild("facenet")
+	if len(ped.Layers) != len(face.Layers) {
+		t.Fatalf("pednet %d layers, facenet %d", len(ped.Layers), len(face.Layers))
+	}
+	if ped.TotalParams() != face.TotalParams() {
+		t.Fatal("detectnet family should share parameter counts")
+	}
+	// But they run at different input resolutions (pednet is the heavier).
+	if ped.TotalFLOPs() <= face.TotalFLOPs() {
+		t.Fatal("pednet (512x512) should cost more FLOPs than facenet (360x360)")
+	}
+}
+
+func TestClassifierOutputWidth(t *testing.T) {
+	for _, name := range []string{"alexnet", "vgg16", "googlenet", "inceptionv4"} {
+		g := MustBuild(name)
+		shape := g.OutputShapes()[0]
+		if shape[1] != 1000 {
+			t.Errorf("%s output width %d, want 1000", name, shape[1])
+		}
+	}
+	// resnet18's classifier is a 1x1 conv in the TRT view.
+	g := MustBuild("resnet18")
+	if shape := g.OutputShapes()[0]; shape[1] != 1000 {
+		t.Errorf("resnet18 output width %d", shape[1])
+	}
+}
+
+func TestTinyYOLOHasTwoHeads(t *testing.T) {
+	g := MustBuild("tiny-yolov3")
+	shapes := g.OutputShapes()
+	if len(shapes) != 2 {
+		t.Fatalf("%d outputs, want 2", len(shapes))
+	}
+	if shapes[0] != [4]int{1, 255, 13, 13} {
+		t.Errorf("head1 shape %v, want [1 255 13 13]", shapes[0])
+	}
+	if shapes[1] != [4]int{1, 255, 26, 26} {
+		t.Errorf("head2 shape %v, want [1 255 26 26]", shapes[1])
+	}
+}
+
+func TestMTCNNCascadeOutputs(t *testing.T) {
+	g := MustBuild("mtcnn")
+	if len(g.Outputs) != 7 {
+		t.Fatalf("mtcnn outputs %v", g.Outputs)
+	}
+}
+
+func TestFLOPsOrdering(t *testing.T) {
+	// VGG-16 is the heaviest classifier; mtcnn the lightest model overall.
+	vgg := MustBuild("vgg16").TotalFLOPs()
+	alex := MustBuild("alexnet").TotalFLOPs()
+	mtcnn := MustBuild("mtcnn").TotalFLOPs()
+	if vgg <= alex {
+		t.Fatal("vgg16 should out-FLOP alexnet")
+	}
+	if mtcnn >= alex {
+		t.Fatal("mtcnn should be far lighter than alexnet")
+	}
+}
+
+// Full-scale FLOPs sanity against the literature: AlexNet ~1.4 GFLOPs,
+// ResNet-18 ~3.6, VGG-16 ~31, GoogLeNet ~3.2 (2 ops per MAC, 224-class
+// inputs as built).
+func TestZooFLOPsMatchLiterature(t *testing.T) {
+	expect := map[string][2]float64{ // GFLOPs [lo, hi]
+		"alexnet":     {1.0, 2.2},
+		"resnet18":    {3.0, 4.5},
+		"vgg16":       {28, 34},
+		"googlenet":   {2.5, 4.5},
+		"tiny-yolov3": {4.0, 8.0},
+		"mobilenetv1": {0.8, 3.2}, // 320x320 + SSD head vs the 224 classifier
+	}
+	for name, band := range expect {
+		g := MustBuild(name)
+		gf := float64(g.TotalFLOPs()) / 1e9
+		if gf < band[0] || gf > band[1] {
+			t.Errorf("%s: %.2f GFLOPs outside literature band [%.1f, %.1f]", name, gf, band[0], band[1])
+		}
+	}
+}
+
+func TestBuildBatched(t *testing.T) {
+	g, err := BuildBatched("resnet18", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.InputShape[0] != 4 {
+		t.Fatalf("batch %d", g.InputShape[0])
+	}
+	if shape := g.OutputShapes()[0]; shape[0] != 4 {
+		t.Fatalf("output batch %d", shape[0])
+	}
+	// FLOPs scale linearly with batch.
+	b1, _ := BuildBatched("resnet18", 1)
+	if g.TotalFLOPs() != 4*b1.TotalFLOPs() {
+		t.Fatalf("flops %d vs 4x %d", g.TotalFLOPs(), b1.TotalFLOPs())
+	}
+	if _, err := BuildBatched("resnet18", 0); err == nil {
+		t.Fatal("batch 0 accepted")
+	}
+	if _, err := BuildBatched("nonexistent", 2); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestDetectorProxyValidation(t *testing.T) {
+	if _, err := BuildDetectorProxy("d", 8); err == nil {
+		t.Fatal("tiny scene accepted")
+	}
+	g, err := BuildDetectorProxy("d", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.OutputShapes()[0] != [4]int{1, 1, 32, 32} {
+		t.Fatalf("coverage shape %v", g.OutputShapes()[0])
+	}
+}

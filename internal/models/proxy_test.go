@@ -1,0 +1,131 @@
+package models
+
+import (
+	"testing"
+
+	"edgeinfer/internal/dataset"
+)
+
+func TestProxyBuilds(t *testing.T) {
+	for name := range proxySpecs {
+		g, err := BuildProxy(name, DefaultProxyOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !g.Finalized() {
+			t.Fatalf("%s proxy not finalized", name)
+		}
+		shape := g.OutputShapes()[0]
+		if shape[1] != dataset.NumClasses {
+			t.Fatalf("%s proxy output width %d", name, shape[1])
+		}
+	}
+}
+
+func TestHasProxy(t *testing.T) {
+	if !HasProxy("alexnet") || HasProxy("mtcnn") {
+		t.Fatal("proxy registry wrong")
+	}
+}
+
+func TestProxyUnknownModel(t *testing.T) {
+	if _, err := BuildProxy("mtcnn", DefaultProxyOptions()); err == nil {
+		t.Fatal("mtcnn proxy should not exist")
+	}
+}
+
+func TestProxyClassifiesCleanTemplates(t *testing.T) {
+	// Noise-free templates must classify (nearly) perfectly with a clean
+	// (overfit-free) proxy.
+	opts := DefaultProxyOptions()
+	opts.OverfitSigma = 0
+	g, err := BuildProxy("resnet18", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tpls := dataset.Templates(opts.Seed, opts.Classes)
+	wrong := 0
+	for c, tpl := range tpls {
+		outs, err := g.Execute(tpl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if outs[0].Argmax() != c {
+			wrong++
+		}
+	}
+	// The truncated (sparse) matched-filter head trades some clean
+	// accuracy for prunability; ~4/5 of noise-free templates must still
+	// classify correctly.
+	if wrong > opts.Classes/4 {
+		t.Fatalf("%d/%d clean templates misclassified", wrong, opts.Classes)
+	}
+}
+
+func TestProxyErrorOrderingMatchesPaper(t *testing.T) {
+	// Paper Table III: error(alexnet) > error(resnet18) > error(vgg16).
+	cfg := dataset.DefaultBenign(5) // 500 images for speed
+	benign := dataset.Benign(cfg)
+	errs := map[string]float64{}
+	for _, name := range []string{"alexnet", "resnet18", "vgg16"} {
+		g, err := BuildProxy(name, DefaultProxyOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		wrong := 0
+		for _, s := range benign {
+			outs, err := g.Execute(s.Image)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if outs[0].Argmax() != s.Label {
+				wrong++
+			}
+		}
+		errs[name] = float64(wrong) / float64(len(benign))
+	}
+	if !(errs["alexnet"] > errs["resnet18"] && errs["resnet18"] > errs["vgg16"]) {
+		t.Fatalf("error ordering wrong: %v", errs)
+	}
+	for name, e := range errs {
+		if e < 0.20 || e > 0.70 {
+			t.Errorf("%s error %.0f%% outside the paper's 30-55%% regime", name, e*100)
+		}
+	}
+}
+
+func TestProxyDeterministic(t *testing.T) {
+	g1, _ := BuildProxy("vgg16", DefaultProxyOptions())
+	g2, _ := BuildProxy("vgg16", DefaultProxyOptions())
+	w1 := g1.Layer("fc_head").Weights["w"]
+	w2 := g2.Layer("fc_head").Weights["w"]
+	for i := range w1.Data {
+		if w1.Data[i] != w2.Data[i] {
+			t.Fatal("proxy weights not deterministic")
+		}
+	}
+}
+
+func TestOverfitPerturbsOnlyZeros(t *testing.T) {
+	clean, _ := BuildProxy("resnet18", ProxyOptions{OverfitSigma: 0})
+	noisy, _ := BuildProxy("resnet18", ProxyOptions{OverfitSigma: 0.45})
+	wc := clean.Layer("fc_head").Weights["w"]
+	wn := noisy.Layer("fc_head").Weights["w"]
+	changedNonzero := 0
+	addedOnZero := 0
+	for i := range wc.Data {
+		if wc.Data[i] == 0 {
+			if wn.Data[i] != 0 {
+				addedOnZero++
+			}
+		} else if wc.Data[i] != wn.Data[i] {
+			changedNonzero++
+		}
+	}
+	if addedOnZero == 0 {
+		t.Fatal("overfit perturbation missing")
+	}
+	if changedNonzero != 0 {
+		t.Fatal("overfit perturbation touched supported coordinates")
+	}
+}

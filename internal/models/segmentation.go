@@ -1,0 +1,41 @@
+package models
+
+import "edgeinfer/internal/graph"
+
+// FCNResNet18 builds the PyTorch fcn-resnet18-cityscapes segmentation
+// network of Table II row 13 (22 conv, 1 max pool): a ResNet-18 backbone
+// without the classifier, a two-conv FCN head over the 21 Cityscapes
+// classes, and bilinear-style upsampling back toward input resolution.
+func FCNResNet18() *graph.Graph {
+	b := graph.NewBuilder("fcn-resnet18-cityscapes", [4]int{1, 3, 512, 256})
+	b.Conv("conv1", 64, 7, 2, 3).BatchNorm("bn1").ReLU("relu1").
+		MaxPool("pool1", 3, 2, 1)
+	channels := []int{64, 128, 256, 512}
+	for s, c := range channels {
+		for blk := 0; blk < 2; blk++ {
+			stride := 1
+			if s > 0 && blk == 0 {
+				stride = 2
+			}
+			in := b.Cursor()
+			p := [8]string{"res2a", "res2b", "res3a", "res3b", "res4a", "res4b", "res5a", "res5b"}[s*2+blk]
+			b.Conv(p+"_conv1", c, 3, stride, 1).BatchNorm(p+"_bn1").ReLU(p+"_relu1").
+				Conv(p+"_conv2", c, 3, 1, 1).BatchNorm(p + "_bn2")
+			shortcut := in
+			if stride != 1 {
+				sb := b.From(in)
+				sb.Conv(p+"_proj", c, 1, stride, 0).BatchNorm(p + "_projbn")
+				shortcut = sb.Cursor()
+			}
+			b.AddJoin(p+"_add", shortcut).ReLU(p + "_relu")
+		}
+	}
+	// FCN head: 1x1 bottleneck and per-class score conv, then 2x2x
+	// upsampling toward input resolution.
+	b.Conv("head_conv", 128, 1, 1, 0).ReLU("head_relu").
+		Conv("score", 21, 1, 1, 0).
+		Upsample("up1").Upsample("up2").
+		Softmax("prob")
+	b.G.Outputs = []string{"prob"}
+	return b.Done()
+}

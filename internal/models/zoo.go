@@ -1,0 +1,110 @@
+// Package models defines the 13 neural networks of the paper's Table II
+// at full scale (real layer topologies, real parameter counts) for the
+// analytic timing experiments, plus reduced-scale numeric proxies used by
+// the accuracy and output-consistency experiments.
+//
+// Full-scale graphs carry no weight tensors — parameter counts are
+// accounted analytically from layer dimensions, so a 527 MB VGG-16 costs
+// nothing to "load". Numeric proxies (proxy.go) materialize real weights
+// at reduced dimensions.
+package models
+
+import (
+	"fmt"
+	"sort"
+
+	"edgeinfer/internal/graph"
+)
+
+// Info describes one zoo entry.
+type Info struct {
+	Name      string
+	Task      string // "classification", "detection", "segmentation"
+	Framework string // "caffe", "tensorflow", "darknet", "pytorch"
+	Build     func() *graph.Graph
+}
+
+// registry holds the zoo in the paper's Table II order.
+var registry = []Info{
+	{"alexnet", "classification", "caffe", AlexNet},
+	{"resnet18", "classification", "caffe", ResNet18},
+	{"vgg16", "classification", "caffe", VGG16},
+	{"inceptionv4", "classification", "caffe", InceptionV4},
+	{"googlenet", "classification", "caffe", GoogLeNet},
+	{"ssd-inceptionv2", "detection", "tensorflow", SSDInceptionV2},
+	{"detectnet-coco-dog", "detection", "caffe", DetectNetCocoDog},
+	{"pednet", "detection", "caffe", PedNet},
+	{"tiny-yolov3", "detection", "darknet", TinyYOLOv3},
+	{"facenet", "detection", "caffe", FaceNet},
+	{"mobilenetv1", "detection", "tensorflow", MobileNetV1},
+	{"mtcnn", "detection", "caffe", MTCNN},
+	{"fcn-resnet18-cityscapes", "segmentation", "pytorch", FCNResNet18},
+}
+
+// List returns the model names in Table II order.
+func List() []string {
+	names := make([]string, len(registry))
+	for i, e := range registry {
+		names[i] = e.Name
+	}
+	return names
+}
+
+// Lookup returns the zoo entry for a model name.
+func Lookup(name string) (Info, error) {
+	for _, e := range registry {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	var known []string
+	for _, e := range registry {
+		known = append(known, e.Name)
+	}
+	sort.Strings(known)
+	return Info{}, fmt.Errorf("models: unknown model %q (known: %v)", name, known)
+}
+
+// Build constructs the full-scale graph for a model name.
+func Build(name string) (*graph.Graph, error) {
+	e, err := Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	g := e.Build()
+	g.Framework = e.Framework
+	g.Task = e.Task
+	return g, nil
+}
+
+// MustBuild is Build for static model names; it panics on unknown names.
+func MustBuild(name string) *graph.Graph {
+	g, err := Build(name)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// BuildBatched constructs a model graph with the given batch size —
+// trtexec-style batched engines amortize per-launch overheads at the
+// cost of per-frame latency (the classic edge throughput/latency trade).
+func BuildBatched(name string, batch int) (*graph.Graph, error) {
+	if batch < 1 {
+		return nil, fmt.Errorf("models: batch %d invalid", batch)
+	}
+	e, err := Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	g := e.Build()
+	if batch > 1 {
+		g.InputShape[0] = batch
+		if err := g.Finalize(); err != nil {
+			return nil, fmt.Errorf("models: batched finalize: %w", err)
+		}
+	}
+	g.Framework = e.Framework
+	g.Task = e.Task
+	return g, nil
+}

@@ -1,0 +1,176 @@
+// Package perfmodel implements the BSP-inspired GPU performance
+// prediction model the paper uses (§VI-B, after Amarís et al.): a
+// kernel's execution time is predicted from computation, global-memory
+// and shared-memory communication terms scaled by core count and clock,
+// with a per-kernel fudge factor lambda calibrated on one platform and
+// reused on another:
+//
+//	T = N * (Comp + CommGM + CommSM) / (F * C * lambda)     (paper Eq. 2)
+//
+// The paper's point — which this package reproduces — is that the
+// optimization engine breaks this methodology: different engines of the
+// same model invoke different kernels different numbers of times with
+// different lambdas, so cross-platform prediction error varies by
+// several percent from engine to engine (Tables XVII, XVIII).
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+
+	"edgeinfer/internal/core"
+	"edgeinfer/internal/gpusim"
+)
+
+// Latency constants (cycles), as a microbenchmark calibration would
+// produce for Volta-class parts.
+const (
+	latInstr = 4
+	latSM    = 25
+	latL1    = 32
+	latL2    = 190
+	latGM    = 420
+)
+
+// Counters are the per-kernel profile counters the model consumes
+// (instructions, loads/stores, cache hits) — what nvprof metrics mode
+// would report.
+type Counters struct {
+	Threads      float64
+	InstrPerThrd float64
+	LDG, STG     float64 // global transactions per thread
+	LDS, STS     float64 // shared-memory transactions per thread
+	L1HitFrac    float64
+	L2HitFrac    float64
+}
+
+// CountersFor derives the counters of a launch from its plan metadata:
+// one thread per output element, reduction-depth instructions, memory
+// transactions from the traffic estimate, and cache hit fractions from
+// the working set against the device's L2 share.
+func CountersFor(l core.Launch, dev *gpusim.Device) Counters {
+	n := float64(l.Spec.Elems)
+	if n <= 0 {
+		n = 1
+	}
+	instr := float64(l.Spec.FLOPs) / n * 2 // MAC + addressing per FLOP pair
+	bytesPerThread := float64(l.Spec.MemBytes) / n
+	ldg := bytesPerThread / 32 // 32B transactions
+	share := float64(dev.Spec.L2KB) * 1024 / float64(dev.Spec.SMs)
+	l2hit := 0.85
+	if ws := float64(l.Spec.WorkingSet); ws > share {
+		l2hit = 0.85 * share / ws
+	}
+	return Counters{
+		Threads:      n,
+		InstrPerThrd: instr,
+		LDG:          ldg,
+		STG:          1.0 / 8, // coalesced stores
+		LDS:          float64(l.Spec.V.TileK) / 8,
+		STS:          float64(l.Spec.V.TileK) / 16,
+		L1HitFrac:    0.55,
+		L2HitFrac:    l2hit,
+	}
+}
+
+// RawPredictSec evaluates Eq. 2 with lambda = 1.
+func RawPredictSec(c Counters, dev *gpusim.Device) float64 {
+	comp := c.InstrPerThrd * latInstr
+	gmAccesses := c.LDG + c.STG
+	l1 := gmAccesses * c.L1HitFrac
+	l2 := (gmAccesses - l1) * c.L2HitFrac
+	miss := gmAccesses - l1 - l2
+	commGM := miss*latGM + l1*latL1 + l2*latL2
+	commSM := (c.LDS + c.STS) * latSM
+	cycles := c.Threads * (comp + commGM + commSM)
+	return cycles / (dev.ClockMHz * 1e6 * float64(dev.Spec.CUDACores))
+}
+
+// Calibration holds per-kernel-symbol lambdas measured on a source
+// platform.
+type Calibration struct {
+	SourcePlatform string
+	Lambda         map[string]float64
+}
+
+// Calibrate measures every kernel of an engine on the source device and
+// computes lambda = predicted/measured per symbol (averaged over
+// invocations), following the paper's methodology of calibrating on a
+// single platform and input size.
+func Calibrate(e *core.Engine, src *gpusim.Device) Calibration {
+	sums := map[string][2]float64{} // symbol -> (sum lambda, count)
+	for _, l := range e.Launches {
+		measured := l.Spec.TimeSec(src)
+		if measured <= 0 {
+			continue
+		}
+		raw := RawPredictSec(CountersFor(l, src), src)
+		s := sums[l.Symbol]
+		s[0] += raw / measured
+		s[1]++
+		sums[l.Symbol] = s
+	}
+	out := Calibration{SourcePlatform: src.Spec.Short(), Lambda: map[string]float64{}}
+	for sym, s := range sums {
+		out.Lambda[sym] = s[0] / s[1]
+	}
+	return out
+}
+
+// PredictEngineSec predicts the kernel-time total of an engine on a
+// target device using lambdas calibrated elsewhere. Kernels without a
+// calibrated lambda (a tactic the source engine never used) fall back to
+// lambda = 1 — one of the failure modes the paper identifies.
+func PredictEngineSec(e *core.Engine, target *gpusim.Device, cal Calibration) float64 {
+	var total float64
+	for _, l := range e.Launches {
+		raw := RawPredictSec(CountersFor(l, target), target)
+		lambda := cal.Lambda[l.Symbol]
+		if lambda <= 0 {
+			lambda = 1
+		}
+		total += raw / lambda
+	}
+	return total
+}
+
+// MeasuredEngineSec is the simulator's ground truth for the same
+// quantity (kernel time only, no memcpy/profiler overheads).
+func MeasuredEngineSec(e *core.Engine, dev *gpusim.Device) float64 {
+	var total float64
+	for _, l := range e.Launches {
+		total += l.Spec.TimeSec(dev)
+	}
+	return total
+}
+
+// ErrorPct returns |predicted-measured|/measured in percent.
+func ErrorPct(predicted, measured float64) float64 {
+	if measured == 0 {
+		return 0
+	}
+	return 100 * math.Abs(predicted-measured) / measured
+}
+
+// Report is the per-engine prediction summary used by Tables XVII/XVIII.
+type Report struct {
+	Engine      string
+	LambdaBySym map[string]float64
+	PredictedMS float64
+	MeasuredMS  float64
+	ErrorPct    float64
+}
+
+// CrossPredict calibrates on src, predicts on dst, and reports.
+func CrossPredict(e *core.Engine, src, dst *gpusim.Device) Report {
+	cal := Calibrate(e, src)
+	pred := PredictEngineSec(e, dst, cal)
+	meas := MeasuredEngineSec(e, dst)
+	return Report{
+		Engine:      fmt.Sprintf("%s (build %d)", e.ModelName, e.BuildID),
+		LambdaBySym: cal.Lambda,
+		PredictedMS: pred * 1e3,
+		MeasuredMS:  meas * 1e3,
+		ErrorPct:    ErrorPct(pred, meas),
+	}
+}

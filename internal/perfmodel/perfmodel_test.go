@@ -1,0 +1,117 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"edgeinfer/internal/core"
+	"edgeinfer/internal/gpusim"
+	"edgeinfer/internal/models"
+)
+
+func buildOn(t *testing.T, model string, spec gpusim.DeviceSpec, id int) *core.Engine {
+	t.Helper()
+	g := models.MustBuild(model)
+	e, err := core.Build(g, core.DefaultConfig(spec, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestCalibrationSelfPredicts(t *testing.T) {
+	// Calibrating and predicting on the same device must be near-exact
+	// (lambda absorbs the model error by construction).
+	e := buildOn(t, "resnet18", gpusim.XavierNX(), 1)
+	nx := gpusim.NewDevice(gpusim.XavierNX(), 599)
+	cal := Calibrate(e, nx)
+	pred := PredictEngineSec(e, nx, cal)
+	meas := MeasuredEngineSec(e, nx)
+	if ErrorPct(pred, meas) > 5 {
+		t.Fatalf("self-prediction error %.1f%%, want <5%%", ErrorPct(pred, meas))
+	}
+}
+
+func TestCrossPlatformPredictionErrs(t *testing.T) {
+	// Predicting AGX from NX-calibrated lambdas must carry real error —
+	// the paper's central point about this methodology.
+	e := buildOn(t, "inceptionv4", gpusim.XavierNX(), 1)
+	nx := gpusim.NewDevice(gpusim.XavierNX(), 599)
+	agx := gpusim.NewDevice(gpusim.XavierAGX(), 624)
+	rep := CrossPredict(e, nx, agx)
+	if rep.ErrorPct <= 0.5 {
+		t.Fatalf("cross-platform prediction suspiciously exact: %.2f%%", rep.ErrorPct)
+	}
+	if rep.ErrorPct > 60 {
+		t.Fatalf("cross-platform prediction useless: %.2f%%", rep.ErrorPct)
+	}
+	if len(rep.LambdaBySym) == 0 {
+		t.Fatal("no lambdas calibrated")
+	}
+}
+
+func TestPredictionErrorVariesAcrossEngines(t *testing.T) {
+	// Table XVII: three engines of the same model calibrated the same way
+	// give different prediction errors (the paper sees 2-13% spread).
+	nx := gpusim.NewDevice(gpusim.XavierNX(), 599)
+	agx := gpusim.NewDevice(gpusim.XavierAGX(), 624)
+	var errs []float64
+	for id := 1; id <= 3; id++ {
+		e := buildOn(t, "inceptionv4", gpusim.XavierNX(), id)
+		errs = append(errs, CrossPredict(e, nx, agx).ErrorPct)
+	}
+	if errs[0] == errs[1] && errs[1] == errs[2] {
+		t.Fatalf("prediction error identical across engines: %v", errs)
+	}
+}
+
+func TestLambdasDifferAcrossEngines(t *testing.T) {
+	nx := gpusim.NewDevice(gpusim.XavierNX(), 599)
+	e1 := buildOn(t, "inceptionv4", gpusim.XavierNX(), 1)
+	e2 := buildOn(t, "inceptionv4", gpusim.XavierNX(), 2)
+	c1, c2 := Calibrate(e1, nx), Calibrate(e2, nx)
+	diff := false
+	for sym, l1 := range c1.Lambda {
+		if l2, ok := c2.Lambda[sym]; ok && l1 != l2 {
+			diff = true
+		}
+	}
+	if !diff && len(c1.Lambda) == len(c2.Lambda) {
+		// identical kernel sets AND identical lambdas would mean the
+		// engines are the same binary
+		t.Log("engines share lambdas; acceptable only if kernel sets differ")
+		same := true
+		for sym := range c1.Lambda {
+			if _, ok := c2.Lambda[sym]; !ok {
+				same = false
+			}
+		}
+		if same {
+			t.Fatal("engines indistinguishable to the performance model")
+		}
+	}
+}
+
+func TestRawPredictPositiveAndScales(t *testing.T) {
+	e := buildOn(t, "alexnet", gpusim.XavierNX(), 1)
+	lo := gpusim.NewDevice(gpusim.XavierNX(), 599)
+	hi := gpusim.NewDevice(gpusim.XavierNX(), 1100)
+	for _, l := range e.Launches {
+		cl := CountersFor(l, lo)
+		tl, th := RawPredictSec(cl, lo), RawPredictSec(CountersFor(l, hi), hi)
+		if tl <= 0 {
+			t.Fatalf("non-positive prediction for %s", l.Symbol)
+		}
+		if th >= tl {
+			t.Fatalf("prediction does not scale with clock for %s", l.Symbol)
+		}
+	}
+}
+
+func TestErrorPct(t *testing.T) {
+	if ErrorPct(110, 100) != 10 || ErrorPct(90, 100) != 10 {
+		t.Fatal("error pct wrong")
+	}
+	if ErrorPct(1, 0) != 0 {
+		t.Fatal("zero measured should not divide")
+	}
+}

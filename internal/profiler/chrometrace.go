@@ -1,0 +1,54 @@
+package profiler
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"edgeinfer/internal/core"
+)
+
+// Chrome-trace export: the timeline view nvvp/Nsight would show, in the
+// chrome://tracing (Perfetto) JSON event format, so engine runs can be
+// inspected visually.
+
+type traceEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`  // microseconds
+	Dur  float64           `json:"dur"` // microseconds
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// ChromeTrace renders one run as a chrome://tracing JSON document: the
+// memcpy on the copy-engine track and every kernel on the compute track.
+func ChromeTrace(label string, r core.RunResult) ([]byte, error) {
+	var events []traceEvent
+	t := 0.0
+	if r.MemcpySec > 0 {
+		events = append(events, traceEvent{
+			Name: "[CUDA memcpy HtoD]", Cat: "memcpy", Ph: "X",
+			TS: 0, Dur: r.MemcpySec * 1e6, PID: 1, TID: 1,
+			Args: map[string]string{"engine": label},
+		})
+		t = r.MemcpySec
+	}
+	for _, k := range r.Kernels {
+		args := map[string]string{"engine": label}
+		if len(k.Layers) > 0 {
+			args["layers"] = fmt.Sprint(k.Layers)
+		}
+		events = append(events, traceEvent{
+			Name: k.Symbol, Cat: "kernel", Ph: "X",
+			TS: t * 1e6, Dur: k.DurSec * 1e6, PID: 1, TID: 2, Args: args,
+		})
+		t += k.DurSec
+	}
+	doc := struct {
+		TraceEvents []traceEvent `json:"traceEvents"`
+		DisplayUnit string       `json:"displayTimeUnit"`
+	}{events, "ms"}
+	return json.MarshalIndent(doc, "", " ")
+}

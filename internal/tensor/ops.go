@@ -1,0 +1,360 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// ConvParams describes a 2-D convolution: square kernel, symmetric stride
+// and padding, optional channel groups (groups == C_in gives depthwise).
+type ConvParams struct {
+	OutC, Kernel, Stride, Pad, Groups int
+}
+
+// ConvOutDim returns the spatial output size of a convolution or pooling
+// window over an input of size in.
+func ConvOutDim(in, kernel, stride, pad int) int {
+	return (in+2*pad-kernel)/stride + 1
+}
+
+// Conv2D computes a grouped 2-D convolution of x with weights w and
+// per-output-channel bias b (b may be nil). w has logical shape
+// [outC, inC/groups, k, k] flattened into w.Data. This is the bit-exact
+// reference: accumulation runs in row-major (c, kh, kw) order in float32.
+func Conv2D(x, w, b *Tensor, p ConvParams) *Tensor {
+	if p.Groups <= 0 {
+		p.Groups = 1
+	}
+	if x.C%p.Groups != 0 || p.OutC%p.Groups != 0 {
+		panic(fmt.Sprintf("tensor: conv groups %d do not divide channels in=%d out=%d", p.Groups, x.C, p.OutC))
+	}
+	icg := x.C / p.Groups // input channels per group
+	ocg := p.OutC / p.Groups
+	if want := p.OutC * icg * p.Kernel * p.Kernel; w.Len() != want {
+		panic(fmt.Sprintf("tensor: conv weight len %d, want %d", w.Len(), want))
+	}
+	oh := ConvOutDim(x.H, p.Kernel, p.Stride, p.Pad)
+	ow := ConvOutDim(x.W, p.Kernel, p.Stride, p.Pad)
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: conv output %dx%d not positive (in %dx%d k=%d s=%d p=%d)", oh, ow, x.H, x.W, p.Kernel, p.Stride, p.Pad))
+	}
+	y := New(x.N, p.OutC, oh, ow)
+	for n := 0; n < x.N; n++ {
+		for oc := 0; oc < p.OutC; oc++ {
+			g := oc / ocg
+			var bias float32
+			if b != nil {
+				bias = b.Data[oc]
+			}
+			for i := 0; i < oh; i++ {
+				for j := 0; j < ow; j++ {
+					var acc float32
+					for c := 0; c < icg; c++ {
+						ic := g*icg + c
+						for kh := 0; kh < p.Kernel; kh++ {
+							ih := i*p.Stride + kh - p.Pad
+							if ih < 0 || ih >= x.H {
+								continue
+							}
+							for kw := 0; kw < p.Kernel; kw++ {
+								iw := j*p.Stride + kw - p.Pad
+								if iw < 0 || iw >= x.W {
+									continue
+								}
+								wv := w.Data[((oc*icg+c)*p.Kernel+kh)*p.Kernel+kw]
+								acc += wv * x.At(n, ic, ih, iw)
+							}
+						}
+					}
+					y.Set(n, oc, i, j, acc+bias)
+				}
+			}
+		}
+	}
+	return y
+}
+
+// PoolParams describes a pooling window.
+type PoolParams struct {
+	Kernel, Stride, Pad int
+}
+
+// MaxPool2D computes max pooling. Padded positions are ignored (treated as
+// -inf), matching cuDNN semantics.
+func MaxPool2D(x *Tensor, p PoolParams) *Tensor {
+	oh := ConvOutDim(x.H, p.Kernel, p.Stride, p.Pad)
+	ow := ConvOutDim(x.W, p.Kernel, p.Stride, p.Pad)
+	y := New(x.N, x.C, oh, ow)
+	for n := 0; n < x.N; n++ {
+		for c := 0; c < x.C; c++ {
+			for i := 0; i < oh; i++ {
+				for j := 0; j < ow; j++ {
+					best := float32(math.Inf(-1))
+					for kh := 0; kh < p.Kernel; kh++ {
+						ih := i*p.Stride + kh - p.Pad
+						if ih < 0 || ih >= x.H {
+							continue
+						}
+						for kw := 0; kw < p.Kernel; kw++ {
+							iw := j*p.Stride + kw - p.Pad
+							if iw < 0 || iw >= x.W {
+								continue
+							}
+							if v := x.At(n, c, ih, iw); v > best {
+								best = v
+							}
+						}
+					}
+					y.Set(n, c, i, j, best)
+				}
+			}
+		}
+	}
+	return y
+}
+
+// AvgPool2D computes average pooling over valid (unpadded) positions.
+func AvgPool2D(x *Tensor, p PoolParams) *Tensor {
+	oh := ConvOutDim(x.H, p.Kernel, p.Stride, p.Pad)
+	ow := ConvOutDim(x.W, p.Kernel, p.Stride, p.Pad)
+	y := New(x.N, x.C, oh, ow)
+	for n := 0; n < x.N; n++ {
+		for c := 0; c < x.C; c++ {
+			for i := 0; i < oh; i++ {
+				for j := 0; j < ow; j++ {
+					var sum float32
+					count := 0
+					for kh := 0; kh < p.Kernel; kh++ {
+						ih := i*p.Stride + kh - p.Pad
+						if ih < 0 || ih >= x.H {
+							continue
+						}
+						for kw := 0; kw < p.Kernel; kw++ {
+							iw := j*p.Stride + kw - p.Pad
+							if iw < 0 || iw >= x.W {
+								continue
+							}
+							sum += x.At(n, c, ih, iw)
+							count++
+						}
+					}
+					if count > 0 {
+						y.Set(n, c, i, j, sum/float32(count))
+					}
+				}
+			}
+		}
+	}
+	return y
+}
+
+// GlobalAvgPool2D reduces each channel's spatial plane to its mean,
+// producing an [N, C, 1, 1] tensor.
+func GlobalAvgPool2D(x *Tensor) *Tensor {
+	y := New(x.N, x.C, 1, 1)
+	inv := 1 / float32(x.H*x.W)
+	for n := 0; n < x.N; n++ {
+		for c := 0; c < x.C; c++ {
+			var sum float32
+			for h := 0; h < x.H; h++ {
+				for w := 0; w < x.W; w++ {
+					sum += x.At(n, c, h, w)
+				}
+			}
+			y.Set(n, c, 0, 0, sum*inv)
+		}
+	}
+	return y
+}
+
+// ReLU applies max(0, x) elementwise, returning a new tensor.
+func ReLU(x *Tensor) *Tensor {
+	y := x.Clone()
+	for i, v := range y.Data {
+		if v < 0 {
+			y.Data[i] = 0
+		}
+	}
+	return y
+}
+
+// LeakyReLU applies x>=0 ? x : alpha*x elementwise.
+func LeakyReLU(x *Tensor, alpha float32) *Tensor {
+	y := x.Clone()
+	for i, v := range y.Data {
+		if v < 0 {
+			y.Data[i] = alpha * v
+		}
+	}
+	return y
+}
+
+// Sigmoid applies the logistic function elementwise.
+func Sigmoid(x *Tensor) *Tensor {
+	y := x.Clone()
+	for i, v := range y.Data {
+		y.Data[i] = float32(1 / (1 + math.Exp(-float64(v))))
+	}
+	return y
+}
+
+// FC computes a fully-connected layer y = W·flatten(x) + b for each batch
+// element. w has logical shape [out, in] with in == C*H*W of x; b may be
+// nil. Output shape is [N, out, 1, 1].
+func FC(x, w, b *Tensor, out int) *Tensor {
+	in := x.C * x.H * x.W
+	if w.Len() != out*in {
+		panic(fmt.Sprintf("tensor: fc weight len %d, want %d (out=%d in=%d)", w.Len(), out*in, out, in))
+	}
+	y := New(x.N, out, 1, 1)
+	for n := 0; n < x.N; n++ {
+		xoff := n * in
+		for o := 0; o < out; o++ {
+			var acc float32
+			woff := o * in
+			for i := 0; i < in; i++ {
+				acc += w.Data[woff+i] * x.Data[xoff+i]
+			}
+			if b != nil {
+				acc += b.Data[o]
+			}
+			y.Set(n, o, 0, 0, acc)
+		}
+	}
+	return y
+}
+
+// BatchNorm applies per-channel affine normalization using precomputed
+// inference statistics: y = gamma*(x-mean)/sqrt(var+eps) + beta.
+func BatchNorm(x, gamma, beta, mean, variance *Tensor, eps float32) *Tensor {
+	y := New(x.N, x.C, x.H, x.W)
+	for c := 0; c < x.C; c++ {
+		scale := gamma.Data[c] / float32(math.Sqrt(float64(variance.Data[c]+eps)))
+		shift := beta.Data[c] - scale*mean.Data[c]
+		for n := 0; n < x.N; n++ {
+			for h := 0; h < x.H; h++ {
+				for w := 0; w < x.W; w++ {
+					y.Set(n, c, h, w, scale*x.At(n, c, h, w)+shift)
+				}
+			}
+		}
+	}
+	return y
+}
+
+// LRN applies local response normalization across channels with window
+// size, alpha, beta and k as in AlexNet/GoogLeNet (Caffe semantics: alpha
+// is divided by the window size).
+func LRN(x *Tensor, size int, alpha, beta, k float32) *Tensor {
+	y := New(x.N, x.C, x.H, x.W)
+	half := size / 2
+	for n := 0; n < x.N; n++ {
+		for c := 0; c < x.C; c++ {
+			lo, hi := c-half, c+half
+			if lo < 0 {
+				lo = 0
+			}
+			if hi >= x.C {
+				hi = x.C - 1
+			}
+			for h := 0; h < x.H; h++ {
+				for w := 0; w < x.W; w++ {
+					var sq float32
+					for cc := lo; cc <= hi; cc++ {
+						v := x.At(n, cc, h, w)
+						sq += v * v
+					}
+					denom := math.Pow(float64(k+alpha/float32(size)*sq), float64(beta))
+					y.Set(n, c, h, w, x.At(n, c, h, w)/float32(denom))
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Softmax applies channelwise softmax per batch element (over C, at each
+// spatial position).
+func Softmax(x *Tensor) *Tensor {
+	y := New(x.N, x.C, x.H, x.W)
+	for n := 0; n < x.N; n++ {
+		for h := 0; h < x.H; h++ {
+			for w := 0; w < x.W; w++ {
+				maxv := float32(math.Inf(-1))
+				for c := 0; c < x.C; c++ {
+					if v := x.At(n, c, h, w); v > maxv {
+						maxv = v
+					}
+				}
+				var sum float64
+				for c := 0; c < x.C; c++ {
+					sum += math.Exp(float64(x.At(n, c, h, w) - maxv))
+				}
+				for c := 0; c < x.C; c++ {
+					y.Set(n, c, h, w, float32(math.Exp(float64(x.At(n, c, h, w)-maxv))/sum))
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Add returns the elementwise sum of two same-shaped tensors (residual
+// connections).
+func Add(a, b *Tensor) *Tensor {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("tensor: add shape mismatch %v vs %v", a.Shape(), b.Shape()))
+	}
+	y := a.Clone()
+	for i, v := range b.Data {
+		y.Data[i] += v
+	}
+	return y
+}
+
+// Concat concatenates tensors along the channel dimension. All inputs
+// must agree on N, H, W.
+func Concat(ts ...*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("tensor: concat of zero tensors")
+	}
+	n, h, w := ts[0].N, ts[0].H, ts[0].W
+	totalC := 0
+	for _, t := range ts {
+		if t.N != n || t.H != h || t.W != w {
+			panic(fmt.Sprintf("tensor: concat shape mismatch %v vs [N=%d H=%d W=%d]", t.Shape(), n, h, w))
+		}
+		totalC += t.C
+	}
+	y := New(n, totalC, h, w)
+	for ni := 0; ni < n; ni++ {
+		coff := 0
+		for _, t := range ts {
+			for c := 0; c < t.C; c++ {
+				for hi := 0; hi < h; hi++ {
+					for wi := 0; wi < w; wi++ {
+						y.Set(ni, coff+c, hi, wi, t.At(ni, c, hi, wi))
+					}
+				}
+			}
+			coff += t.C
+		}
+	}
+	return y
+}
+
+// Upsample2x nearest-neighbour upsamples the spatial dims by 2 (used by
+// Tiny-YOLOv3 and FCN decoders).
+func Upsample2x(x *Tensor) *Tensor {
+	y := New(x.N, x.C, x.H*2, x.W*2)
+	for n := 0; n < x.N; n++ {
+		for c := 0; c < x.C; c++ {
+			for h := 0; h < y.H; h++ {
+				for w := 0; w < y.W; w++ {
+					y.Set(n, c, h, w, x.At(n, c, h/2, w/2))
+				}
+			}
+		}
+	}
+	return y
+}

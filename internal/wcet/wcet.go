@@ -1,0 +1,167 @@
+// Package wcet provides the worst-case-execution-time analysis the
+// paper's ADAS discussion calls for (§VI-A): empirical WCET estimation
+// with safety margins, deadline-miss accounting, cross-rebuild WCET
+// stability checks, and end-to-end pipeline budgets. The paper's point —
+// that engine rebuilds invalidate WCET certification — becomes a
+// checkable property here.
+package wcet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"edgeinfer/internal/core"
+	"edgeinfer/internal/gpusim"
+)
+
+// Profile is an empirical latency profile of one engine on one device.
+type Profile struct {
+	Engine  string
+	Samples []float64 // seconds, sorted ascending
+	MeanSec float64
+	P99Sec  float64
+	MaxSec  float64
+	StdSec  float64
+}
+
+// Measure runs the engine n times on the device (memcpy excluded — the
+// steady-state serving path keeps weights resident) and returns its
+// profile.
+func Measure(e *core.Engine, dev *gpusim.Device, n int) Profile {
+	if n < 1 {
+		n = 1
+	}
+	samples := make([]float64, n)
+	var sum float64
+	for i := 0; i < n; i++ {
+		samples[i] = e.Run(core.RunConfig{Device: dev, RunIndex: i}).LatencySec
+		sum += samples[i]
+	}
+	sort.Float64s(samples)
+	mean := sum / float64(n)
+	var sq float64
+	for _, s := range samples {
+		sq += (s - mean) * (s - mean)
+	}
+	return Profile{
+		Engine:  e.Key(),
+		Samples: samples,
+		MeanSec: mean,
+		P99Sec:  Percentile(samples, 99),
+		MaxSec:  samples[n-1],
+		StdSec:  math.Sqrt(sq / float64(n)),
+	}
+}
+
+// Percentile returns the p-th percentile of sorted samples (nearest-rank).
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx]
+}
+
+// WCETSec returns the certified worst case: the observed maximum plus a
+// safety margin (fraction of the max, e.g. 0.2 for 20%).
+func (p Profile) WCETSec(margin float64) float64 {
+	return p.MaxSec * (1 + margin)
+}
+
+// MissRate returns the fraction of samples exceeding the deadline.
+func (p Profile) MissRate(deadlineSec float64) float64 {
+	misses := 0
+	for _, s := range p.Samples {
+		if s > deadlineSec {
+			misses++
+		}
+	}
+	return float64(misses) / float64(len(p.Samples))
+}
+
+// Certification is the verdict of certifying one engine build against a
+// deadline.
+type Certification struct {
+	Profile  Profile
+	Deadline float64
+	Margin   float64
+	WCET     float64
+	Passes   bool
+}
+
+// Certify checks an engine's measured WCET (with margin) against a
+// deadline.
+func Certify(e *core.Engine, dev *gpusim.Device, runs int, deadlineSec, margin float64) Certification {
+	prof := Measure(e, dev, runs)
+	w := prof.WCETSec(margin)
+	return Certification{Profile: prof, Deadline: deadlineSec, Margin: margin, WCET: w, Passes: w <= deadlineSec}
+}
+
+// RebuildStability re-certifies several independent builds of the same
+// model and reports whether certification is stable — the paper's
+// hazard is exactly that it is not.
+type RebuildStability struct {
+	Certs        []Certification
+	AllPass      bool
+	AnyPass      bool
+	WCETSpreadMS float64
+}
+
+// CheckRebuilds certifies builds 1..n of a model graph on a device.
+func CheckRebuilds(build func(id int) (*core.Engine, error), dev *gpusim.Device, n, runs int, deadlineSec, margin float64) (RebuildStability, error) {
+	if n < 1 {
+		return RebuildStability{}, fmt.Errorf("wcet: need at least one build")
+	}
+	res := RebuildStability{AllPass: true}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for id := 1; id <= n; id++ {
+		e, err := build(id)
+		if err != nil {
+			return RebuildStability{}, fmt.Errorf("wcet: build %d: %w", id, err)
+		}
+		c := Certify(e, dev, runs, deadlineSec, margin)
+		res.Certs = append(res.Certs, c)
+		res.AllPass = res.AllPass && c.Passes
+		res.AnyPass = res.AnyPass || c.Passes
+		lo = math.Min(lo, c.WCET)
+		hi = math.Max(hi, c.WCET)
+	}
+	res.WCETSpreadMS = (hi - lo) * 1e3
+	return res, nil
+}
+
+// Stage is one step of an end-to-end real-time pipeline.
+type Stage struct {
+	Name   string
+	DurSec float64
+}
+
+// PipelineBudget schedules stages back-to-back on a stream and reports
+// the makespan against a budget.
+type PipelineBudget struct {
+	Stages      []Stage
+	MakespanSec float64
+	BudgetSec   float64
+	Fits        bool
+}
+
+// AnalyzePipeline runs the stages through a gpusim stream timeline.
+func AnalyzePipeline(dev *gpusim.Device, budgetSec float64, stages ...Stage) PipelineBudget {
+	ctx := gpusim.NewContext(dev)
+	stream := ctx.NewStream()
+	t := 0.0
+	for _, s := range stages {
+		t = stream.Enqueue(t, s.DurSec)
+	}
+	return PipelineBudget{Stages: stages, MakespanSec: t, BudgetSec: budgetSec, Fits: t <= budgetSec}
+}

@@ -1,0 +1,118 @@
+package wcet
+
+import (
+	"testing"
+
+	"edgeinfer/internal/core"
+	"edgeinfer/internal/gpusim"
+	"edgeinfer/internal/models"
+)
+
+func pednetEngine(t *testing.T, id int) *core.Engine {
+	t.Helper()
+	e, err := core.Build(models.MustBuild("pednet"), core.DefaultConfig(gpusim.XavierNX(), id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func nxDev() *gpusim.Device {
+	return gpusim.NewDevice(gpusim.XavierNX(), gpusim.PaperLatencyClock(gpusim.XavierNX()))
+}
+
+func TestMeasureProfile(t *testing.T) {
+	p := Measure(pednetEngine(t, 1), nxDev(), 50)
+	if p.MeanSec <= 0 || p.MaxSec < p.MeanSec || p.P99Sec > p.MaxSec {
+		t.Fatalf("profile inconsistent: %+v", p)
+	}
+	if p.StdSec <= 0 {
+		t.Fatal("run-to-run jitter missing")
+	}
+	for i := 1; i < len(p.Samples); i++ {
+		if p.Samples[i] < p.Samples[i-1] {
+			t.Fatal("samples not sorted")
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if Percentile(s, 50) != 5 {
+		t.Fatalf("p50 %v", Percentile(s, 50))
+	}
+	if Percentile(s, 100) != 10 || Percentile(s, 0) != 1 {
+		t.Fatal("extremes wrong")
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile")
+	}
+}
+
+func TestWCETWithMargin(t *testing.T) {
+	p := Profile{MaxSec: 0.010}
+	if p.WCETSec(0.2) != 0.012 {
+		t.Fatalf("wcet %v", p.WCETSec(0.2))
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	p := Profile{Samples: []float64{1, 2, 3, 4}}
+	if p.MissRate(2.5) != 0.5 {
+		t.Fatalf("miss rate %v", p.MissRate(2.5))
+	}
+}
+
+func TestCertify(t *testing.T) {
+	e := pednetEngine(t, 1)
+	pass := Certify(e, nxDev(), 30, 0.040, 0.2)
+	if !pass.Passes {
+		t.Fatalf("pednet should certify against 40ms: WCET %.1fms", pass.WCET*1e3)
+	}
+	failCert := Certify(e, nxDev(), 30, 0.005, 0.2)
+	if failCert.Passes {
+		t.Fatal("pednet cannot certify against 5ms")
+	}
+}
+
+func TestCheckRebuildsSpread(t *testing.T) {
+	dev := nxDev()
+	res, err := CheckRebuilds(func(id int) (*core.Engine, error) {
+		return core.Build(models.MustBuild("pednet"), core.DefaultConfig(gpusim.XavierNX(), id))
+	}, dev, 3, 30, 0.040, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Certs) != 3 {
+		t.Fatalf("%d certs", len(res.Certs))
+	}
+	if res.WCETSpreadMS <= 0 {
+		t.Fatal("rebuilt engines should have different WCETs (the paper's hazard)")
+	}
+	if !res.AnyPass {
+		t.Fatal("no build certifies against a generous deadline")
+	}
+}
+
+func TestCheckRebuildsValidation(t *testing.T) {
+	if _, err := CheckRebuilds(nil, nxDev(), 0, 1, 1, 0); err == nil {
+		t.Fatal("zero builds accepted")
+	}
+}
+
+func TestAnalyzePipeline(t *testing.T) {
+	dev := nxDev()
+	pb := AnalyzePipeline(dev, 0.030,
+		Stage{"capture", 0.002}, Stage{"preprocess", 0.0015},
+		Stage{"inference", 0.020}, Stage{"brake", 0.0008})
+	if !pb.Fits {
+		t.Fatalf("pipeline should fit 30ms: makespan %.1fms", pb.MakespanSec*1e3)
+	}
+	if pb.MakespanSec != 0.002+0.0015+0.020+0.0008 {
+		t.Fatalf("makespan %v", pb.MakespanSec)
+	}
+	tight := AnalyzePipeline(dev, 0.010, Stage{"inference", 0.020})
+	if tight.Fits {
+		t.Fatal("over-budget pipeline reported as fitting")
+	}
+}
