@@ -1,0 +1,10 @@
+#!/bin/sh
+# CI gate: the tier-1 checks (build + test) plus vet, the race detector
+# (the serve/faults packages are exercised concurrently), and a short
+# fuzz smoke over the untrusted plan loader. Run from the repo root.
+set -eux
+
+go vet ./...
+go build ./...
+go test -race ./...
+go test -run='^$' -fuzz=FuzzLoad -fuzztime=10s ./internal/core

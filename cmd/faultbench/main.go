@@ -1,0 +1,62 @@
+// Command faultbench measures the resilient serving stack under the
+// deterministic fault-injection subsystem: top-1 error and p50/p99
+// latency of answered requests versus fault rate (the degradation-chain
+// sweep) and versus DVFS throttling severity, for a model on Xavier NX
+// and AGX. Everything is seeded, so the emitted tables are reproducible.
+//
+// Usage:
+//
+//	faultbench                         # default sweep, prints and writes results/faulttol.txt
+//	faultbench -model resnet18 -requests 100 -rates 0,0.01,0.05,0.2,0.5,1
+//	faultbench -out ""                 # print only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"edgeinfer/internal/experiments"
+	"edgeinfer/internal/models"
+)
+
+func main() {
+	model := flag.String("model", "resnet18", "model to serve (must have a numeric proxy)")
+	ratesArg := flag.String("rates", "0,0.01,0.05,0.2,0.5,1", "comma-separated fault rates to sweep")
+	requests := flag.Int("requests", 100, "requests per sweep point")
+	out := flag.String("out", "results/faulttol.txt", "also write the tables to this file (empty disables)")
+	flag.Parse()
+
+	if !models.HasProxy(*model) {
+		fmt.Fprintf(os.Stderr, "faultbench: no numeric proxy for %q (need one of the classification models)\n", *model)
+		os.Exit(2)
+	}
+	var rates []float64
+	for _, s := range strings.Split(*ratesArg, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil || v < 0 || v > 1 {
+			fmt.Fprintf(os.Stderr, "faultbench: bad rate %q\n", s)
+			os.Exit(2)
+		}
+		rates = append(rates, v)
+	}
+
+	lab := experiments.NewLab(experiments.Default())
+	text := lab.RenderFaultToleranceFor(*model, rates, *requests) + "\n" + lab.RenderThrottleSweep()
+	fmt.Println(text)
+
+	if *out != "" {
+		if err := os.MkdirAll(filepath.Dir(*out), 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "faultbench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, []byte(text+"\n"), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "faultbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *out)
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 
 	"edgeinfer/internal/gpusim"
@@ -35,6 +36,18 @@ func FuzzLoad(f *testing.F) {
 		bad[8], bad[9] = 0xff, 0xff
 	}
 	f.Add(bad)
+	// Hostile topologies and length fields (the crashers the corruption
+	// tests pin down: duplicate layers, unknown input refs, a layer
+	// shadowing "data", zero-stride convs, giant shapes over truncated
+	// streams) seed the mutator near the interesting paths.
+	smallPlan, hlen := savedPlan(f)
+	f.Add(smallPlan)
+	for _, hostile := range hostileHeaders(f, smallPlan, hlen) {
+		f.Add(hostile)
+	}
+	hostileCount := append([]byte(nil), smallPlan...)
+	binary.LittleEndian.PutUint32(hostileCount[12+hlen:], 0xffffffff)
+	f.Add(hostileCount)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// cap pathological sizes the mutator may produce

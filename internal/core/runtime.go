@@ -2,9 +2,7 @@ package core
 
 import (
 	"fmt"
-	"math"
 
-	"edgeinfer/internal/fixrand"
 	"edgeinfer/internal/gpusim"
 	"edgeinfer/internal/graph"
 	"edgeinfer/internal/kernels"
@@ -55,31 +53,14 @@ const (
 
 // Run executes the engine plan on a device and returns the simulated
 // latency with a per-kernel trace. Deterministic given the engine key,
-// device, and RunIndex.
+// device, and RunIndex. It is RunFaulty on a pristine device (no
+// injector), which cannot fail.
 func (e *Engine) Run(cfg RunConfig) RunResult {
-	dev := cfg.Device
-	jit := fixrand.NewKeyed(fmt.Sprintf("run/%s/%s@%.0f/%d/prof=%v",
-		e.Key(), dev.Spec.Short(), dev.ClockMHz, cfg.RunIndex, cfg.Profile))
-	var res RunResult
-	if cfg.IncludeMemcpy {
-		res.MemcpySec = dev.MemcpyH2DSec(e.WeightBytes(), e.WeightChunks())
-		// Copy jitter (pageable memory, CPU contention).
-		res.MemcpySec *= math.Exp(runJitterSigma * jit.NormFloat64())
+	res, err := e.RunFaulty(cfg, nil)
+	if err != nil {
+		// Unreachable: every fault path requires a non-nil injector.
+		panic(err)
 	}
-	total := res.MemcpySec
-	for _, l := range e.Launches {
-		t := l.Spec.TimeSec(dev)
-		t *= math.Exp(runJitterSigma * jit.NormFloat64())
-		if cfg.Profile {
-			t = t*profSerialFactor + profPerLaunchSec
-		} else {
-			t *= overlapFactor
-		}
-		t += dev.LaunchOverheadSec()
-		res.Kernels = append(res.Kernels, KernelInvocation{Symbol: l.Symbol, Layers: l.Layers, DurSec: t})
-		total += t
-	}
-	res.LatencySec = total
 	return res
 }
 
@@ -152,47 +133,20 @@ func (e *Engine) StreamLoad(dev *gpusim.Device) gpusim.StreamLoad {
 // Infer runs the engine numerically on an input tensor, using each
 // layer's selected kernel variant so that accumulation order and rounding
 // match the tuned plan. Only numeric engines (built from proxies with
-// materialized weights) support this.
+// materialized weights) support this. It is InferFaulty on a pristine
+// device (no injector).
 func (e *Engine) Infer(x *tensor.Tensor) ([]*tensor.Tensor, error) {
-	if !e.Numeric {
-		return nil, fmt.Errorf("core: engine %s is timing-only (no weights materialized)", e.Key())
-	}
-	g := e.Graph
-	acts := map[string]*tensor.Tensor{}
-	for _, l := range g.Layers {
-		var y *tensor.Tensor
-		var err error
-		switch {
-		case l.Op == graph.OpInput:
-			y = x
-		case l.Op == graph.OpConv:
-			y, err = e.inferConv(l, acts)
-		case l.Op == graph.OpFC:
-			y, err = e.inferFC(l, acts)
-		default:
-			ins := make([]*tensor.Tensor, len(l.Inputs))
-			for i, name := range l.Inputs {
-				ins[i] = acts[name]
-			}
-			y, err = graph.EvalLayer(l, ins)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("core: infer %s layer %s: %w", e.Key(), l.Name, err)
-		}
-		acts[l.Name] = y
-	}
-	outs := make([]*tensor.Tensor, len(g.Outputs))
-	for i, name := range g.Outputs {
-		outs[i] = acts[name]
-	}
-	return outs, nil
+	return e.InferFaulty(x, nil)
 }
 
-func (e *Engine) inferConv(l *graph.Layer, acts map[string]*tensor.Tensor) (*tensor.Tensor, error) {
+func (e *Engine) inferConv(l *graph.Layer, acts map[string]*tensor.Tensor, fi FaultInjector) (*tensor.Tensor, error) {
 	in := e.quantInput(l.Inputs[0], acts)
 	w, b := l.Weights["w"], l.Weights["b"]
 	if w == nil {
 		return nil, fmt.Errorf("conv %s has no weights", l.Name)
+	}
+	if fi != nil {
+		w = fi.CorruptWeights(l.Name, "w", w)
 	}
 	v, ok := e.Choices[l.Name]
 	if !ok {
@@ -203,15 +157,21 @@ func (e *Engine) inferConv(l *graph.Layer, acts map[string]*tensor.Tensor) (*ten
 	// are applied after (still one launch — epilogue code).
 	execV := v
 	execV.FusedAct = f.Act == ActReLU
-	y := kernels.ExecConv(execV, in, w, b, l.Conv)
+	y, err := kernels.ExecConv(execV, in, w, b, l.Conv)
+	if err != nil {
+		return nil, err
+	}
 	return applyEpilogue(y, f), nil
 }
 
-func (e *Engine) inferFC(l *graph.Layer, acts map[string]*tensor.Tensor) (*tensor.Tensor, error) {
+func (e *Engine) inferFC(l *graph.Layer, acts map[string]*tensor.Tensor, fi FaultInjector) (*tensor.Tensor, error) {
 	in := e.quantInput(l.Inputs[0], acts)
 	w, b := l.Weights["w"], l.Weights["b"]
 	if w == nil {
 		return nil, fmt.Errorf("fc %s has no weights", l.Name)
+	}
+	if fi != nil {
+		w = fi.CorruptWeights(l.Name, "w", w)
 	}
 	v, ok := e.Choices[l.Name]
 	if !ok {
@@ -220,7 +180,10 @@ func (e *Engine) inferFC(l *graph.Layer, acts map[string]*tensor.Tensor) (*tenso
 	f := e.Fusions[l.Name]
 	execV := v
 	execV.FusedAct = f.Act == ActReLU
-	y := kernels.ExecFC(execV, in, w, b, l.OutUnits)
+	y, err := kernels.ExecFC(execV, in, w, b, l.OutUnits)
+	if err != nil {
+		return nil, err
+	}
 	return applyEpilogue(y, f), nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 
 	"edgeinfer/internal/graph"
@@ -142,7 +143,77 @@ func (e *Engine) Save(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Load deserializes an engine plan.
+// readBounded reads exactly n bytes in fixed-size chunks. Unlike a
+// single make(n)+ReadFull, memory grows with the bytes actually present
+// in the stream, so a hostile length field over a truncated file fails
+// after a small allocation instead of reserving the full claimed size.
+func readBounded(r io.Reader, n int64) ([]byte, error) {
+	const chunk = 256 << 10
+	buf := make([]byte, 0, min64(n, chunk))
+	scratch := make([]byte, chunk)
+	for int64(len(buf)) < n {
+		want := min64(n-int64(len(buf)), chunk)
+		if _, err := io.ReadFull(r, scratch[:want]); err != nil {
+			return nil, err
+		}
+		buf = append(buf, scratch[:want]...)
+	}
+	return buf, nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// validatePlanLayers checks a deserialized header's layer list against
+// everything graph.Add would panic on: plans are untrusted input, so a
+// malformed topology must surface as an error.
+func validatePlanLayers(layers []planLayer) error {
+	seen := map[string]bool{"data": true} // graph.New pre-adds the input layer
+	for _, pl := range layers {
+		if pl.Name == "" {
+			return fmt.Errorf("core: plan layer with empty name")
+		}
+		if seen[pl.Name] {
+			return fmt.Errorf("core: duplicate plan layer %q", pl.Name)
+		}
+		if pl.Op == graph.OpInput {
+			return fmt.Errorf("core: plan layer %q redeclares the input", pl.Name)
+		}
+		if len(pl.Inputs) == 0 {
+			return fmt.Errorf("core: plan layer %q has no inputs", pl.Name)
+		}
+		for _, in := range pl.Inputs {
+			if !seen[in] {
+				return fmt.Errorf("core: plan layer %q references unknown input %q", pl.Name, in)
+			}
+		}
+		seen[pl.Name] = true
+	}
+	return nil
+}
+
+// validateInputShape bounds a deserialized input shape.
+func validateInputShape(s [4]int) error {
+	elems := int64(1)
+	for _, d := range s {
+		if d < 1 || int64(d) > maxTensorElems {
+			return fmt.Errorf("core: plan input shape %v invalid", s)
+		}
+		elems *= int64(d)
+		if elems > maxTensorElems {
+			return fmt.Errorf("core: plan input shape %v too large", s)
+		}
+	}
+	return nil
+}
+
+// Load deserializes an engine plan. Plan files are untrusted input:
+// truncated, bit-flipped or hostile plans return an error — never a
+// panic, and never an allocation driven by an unvalidated length field.
 func Load(r io.Reader) (*Engine, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(planMagic))
@@ -159,13 +230,19 @@ func Load(r io.Reader) (*Engine, error) {
 	if hlen > maxHeaderBytes {
 		return nil, fmt.Errorf("core: plan header %d bytes exceeds limit", hlen)
 	}
-	hb := make([]byte, hlen)
-	if _, err := io.ReadFull(br, hb); err != nil {
-		return nil, err
+	hb, err := readBounded(br, int64(hlen))
+	if err != nil {
+		return nil, fmt.Errorf("core: read plan header: %w", err)
 	}
 	var h planHeader
 	if err := json.Unmarshal(hb, &h); err != nil {
 		return nil, fmt.Errorf("core: unmarshal plan header: %w", err)
+	}
+	if err := validateInputShape(h.InputShape); err != nil {
+		return nil, err
+	}
+	if err := validatePlanLayers(h.Layers); err != nil {
+		return nil, err
 	}
 	g := graph.New(h.ModelName, h.InputShape)
 	g.Framework, g.Task = h.Framework, h.Task
@@ -190,8 +267,8 @@ func Load(r io.Reader) (*Engine, error) {
 		if rlen > maxRecordBytes {
 			return nil, fmt.Errorf("core: weight record %d bytes exceeds limit", rlen)
 		}
-		rb := make([]byte, rlen)
-		if _, err := io.ReadFull(br, rb); err != nil {
+		rb, err := readBounded(br, int64(rlen))
+		if err != nil {
 			return nil, err
 		}
 		var rec weightRecord
@@ -208,15 +285,18 @@ func Load(r io.Reader) (*Engine, error) {
 				return nil, fmt.Errorf("core: weight shape %v too large", rec.Shape)
 			}
 		}
-		t := tensor.New(rec.Shape[0], rec.Shape[1], rec.Shape[2], rec.Shape[3])
-		if err := binary.Read(br, binary.LittleEndian, t.Data); err != nil {
-			return nil, err
-		}
 		l := g.Layer(rec.Layer)
 		if l == nil {
 			return nil, fmt.Errorf("core: weight for unknown layer %q", rec.Layer)
 		}
-		l.Weights[rec.Key] = t
+		data, err := readFloat32s(br, elems)
+		if err != nil {
+			return nil, fmt.Errorf("core: read weight %s/%s: %w", rec.Layer, rec.Key, err)
+		}
+		l.Weights[rec.Key] = &tensor.Tensor{
+			N: rec.Shape[0], C: rec.Shape[1], H: rec.Shape[2], W: rec.Shape[3],
+			Data: data,
+		}
 	}
 	if err := g.Finalize(); err != nil {
 		return nil, fmt.Errorf("core: finalize loaded plan: %w", err)
@@ -229,6 +309,25 @@ func Load(r io.Reader) (*Engine, error) {
 		RemovedLayers: h.RemovedLayers, FusedLayers: h.FusedLayers,
 		MergedLaunches: h.MergedLaunches,
 	}, nil
+}
+
+// readFloat32s decodes elems little-endian float32 values, growing the
+// result with the data actually read (see readBounded for the rationale).
+func readFloat32s(r io.Reader, elems int64) ([]float32, error) {
+	const chunkElems = 64 << 10
+	data := make([]float32, 0, min64(elems, chunkElems))
+	buf := make([]byte, chunkElems*4)
+	for int64(len(data)) < elems {
+		n := min64(elems-int64(len(data)), chunkElems)
+		b := buf[:n*4]
+		if _, err := io.ReadFull(r, b); err != nil {
+			return nil, err
+		}
+		for i := int64(0); i < n; i++ {
+			data = append(data, math.Float32frombits(binary.LittleEndian.Uint32(b[i*4:])))
+		}
+	}
+	return data, nil
 }
 
 // SaveFile writes the engine plan to a file path.

@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"edgeinfer/internal/core"
+	"edgeinfer/internal/faults"
+	"edgeinfer/internal/metrics"
+	"edgeinfer/internal/models"
+	"edgeinfer/internal/serve"
+	"edgeinfer/internal/tensor"
+)
+
+// Fault-tolerance study (extension): the paper characterizes engines on
+// pristine, pinned devices; this experiment measures what a deployed
+// serving stack delivers when the device degrades. A seeded fault plan
+// (faults.Scenario) is swept over its base rate, and the resilient
+// executor (internal/serve) answers classification requests through its
+// degradation chain — tuned engine, standby engine, FP32 reference —
+// reporting top-1 error of the answers actually served, latency
+// percentiles, tier shares and the fault/retry ledger.
+
+// faultTolPlatforms are the study's platforms.
+var faultTolPlatforms = []string{"NX", "AGX"}
+
+// FaultTolRow is one (platform, fault-rate) sweep point.
+type FaultTolRow struct {
+	Platform string
+	Rate     float64
+
+	// TRTErr is the top-1 error (%) of the answers the resilient
+	// executor served; UnoptErr is the un-optimized model's error on the
+	// same requests (the floor the FP32 tier degrades to).
+	TRTErr, UnoptErr float64
+
+	// Latency percentiles of served requests (proxy-scale, ms) and the
+	// un-optimized reference latency on the same device.
+	P50Ms, P99Ms, UnoptMs float64
+
+	// Tier shares (%) of who answered.
+	TunedPct, StandbyPct, FP32Pct float64
+
+	// Ledger: faults injected, retries issued, breaker trips.
+	Faults, Retries, BreakerTrips uint64
+}
+
+// FaultTolerance sweeps the scenario base rate for one model, serving
+// `requests` benign samples per (platform, rate) point through a fresh
+// executor. Everything is seeded: same arguments, same table.
+func (l *Lab) FaultTolerance(model string, rates []float64, requests int) []FaultTolRow {
+	set := l.benignSet()
+	if requests > len(set) {
+		requests = len(set)
+	}
+	images := make([]*tensor.Tensor, requests)
+	labels := make([]int, requests)
+	for i := 0; i < requests; i++ {
+		images[i], labels[i] = set[i].Image, set[i].Label
+	}
+	var out []FaultTolRow
+	for _, platform := range faultTolPlatforms {
+		dev := latencyDevice(platform)
+		unoptPred := l.classifyUnopt(fmt.Sprintf("ft/%s/unopt/%d", model, requests), model, images)
+		g, err := models.BuildProxy(model, models.DefaultProxyOptions())
+		if err != nil {
+			panic(err)
+		}
+		unoptMs := core.UnoptimizedRun(g, dev) * 1e3
+		for _, rate := range rates {
+			inj := faults.Scenario(fmt.Sprintf("faultbench/%s/%.3f", model, rate), rate).New(platform)
+			ex, err := serve.New(serve.Config{
+				Engine:   l.proxyEngine(model, platform, 1),
+				LowBatch: l.proxyEngine(model, platform, 2), // standby build
+				Fallback: g,
+				Device:   dev,
+				Injector: inj,
+				Seed:     "faultbench",
+			})
+			if err != nil {
+				panic(err)
+			}
+			preds := make([]int, requests)
+			lats := make([]float64, requests)
+			for i, img := range images {
+				res, err := ex.Do(img, i)
+				if err != nil {
+					panic(err)
+				}
+				preds[i] = res.Outputs[0].Argmax()
+				lats[i] = res.LatencySec
+			}
+			st := ex.Stats()
+			share := func(t serve.Tier) float64 {
+				return 100 * float64(st.TierServed[t]) / float64(requests)
+			}
+			out = append(out, FaultTolRow{
+				Platform: platform, Rate: rate,
+				TRTErr:       metrics.Top1Error(preds, labels),
+				UnoptErr:     metrics.Top1Error(unoptPred, labels),
+				P50Ms:        percentile(lats, 0.50) * 1e3,
+				P99Ms:        percentile(lats, 0.99) * 1e3,
+				UnoptMs:      unoptMs,
+				TunedPct:     share(serve.TierTuned),
+				StandbyPct:   share(serve.TierLowBatch),
+				FP32Pct:      share(serve.TierFP32),
+				Faults:       inj.Counters().Total(),
+				Retries:      st.Retries,
+				BreakerTrips: st.BreakerTrips,
+			})
+		}
+	}
+	return out
+}
+
+// RenderFaultTolerance formats the default sweep: resnet18 over fault
+// rates 0 → 1 on both platforms (cmd/faultbench's default table).
+func (l *Lab) RenderFaultTolerance() string {
+	return l.RenderFaultToleranceFor("resnet18", []float64{0, 0.01, 0.05, 0.2, 0.5, 1.0}, 100)
+}
+
+// RenderFaultToleranceFor formats a parameterized sweep.
+func (l *Lab) RenderFaultToleranceFor(model string, rates []float64, requests int) string {
+	t := &table{
+		title: fmt.Sprintf("Fault tolerance: %s served through the degradation chain (%d requests/point, proxy-scale latency)", model, requests),
+		header: []string{"Platform", "FaultRate", "Err(%) served", "Err(%) unopt",
+			"p50(ms)", "p99(ms)", "unopt(ms)", "tuned%", "standby%", "fp32%", "faults", "retries", "trips"},
+	}
+	for _, r := range l.FaultTolerance(model, rates, requests) {
+		t.add(r.Platform, f2(r.Rate), f2(r.TRTErr), f2(r.UnoptErr),
+			f2(r.P50Ms), f2(r.P99Ms), f2(r.UnoptMs),
+			f1(r.TunedPct), f1(r.StandbyPct), f1(r.FP32Pct),
+			fmt.Sprintf("%d", r.Faults), fmt.Sprintf("%d", r.Retries), fmt.Sprintf("%d", r.BreakerTrips))
+	}
+	return t.String()
+}
+
+// ThrottleRow is one (platform, severity) point of the DVFS-throttling
+// sweep: full-scale engine latency under random clock drops to DropFrac
+// of nominal with the governor's recovery ramp.
+type ThrottleRow struct {
+	Platform string
+	DropFrac float64
+
+	P50Ms, P99Ms float64
+	// NominalMs is the fault-free p50 on the same device.
+	NominalMs float64
+	// Drops is the number of DVFS events injected over the sweep.
+	Drops uint64
+}
+
+// ThrottleSweep measures timed (full-scale) engine latency under
+// increasingly severe clock-drop faults: drop probability is fixed at
+// 10% per kernel launch, severity is the clock fraction dropped to.
+func (l *Lab) ThrottleSweep(model string, fracs []float64, requests int) []ThrottleRow {
+	var out []ThrottleRow
+	for _, platform := range faultTolPlatforms {
+		dev := latencyDevice(platform)
+		eng := l.engine(model, platform, 1)
+		nominal := make([]float64, requests)
+		for i := range nominal {
+			nominal[i] = eng.Run(core.RunConfig{Device: dev, RunIndex: i}).LatencySec
+		}
+		for _, frac := range fracs {
+			plan := faults.Plan{
+				Seed:             fmt.Sprintf("throttle/%s/%.2f", model, frac),
+				ClockDropRate:    0.1,
+				ClockDropFrac:    frac,
+				ClockRecoverStep: 1.03,
+			}
+			inj := plan.New(platform)
+			lats := make([]float64, requests)
+			for i := range lats {
+				res, err := eng.RunFaulty(core.RunConfig{Device: dev, RunIndex: i}, inj)
+				if err != nil {
+					panic(err) // clock-only plans cannot fail a run
+				}
+				lats[i] = res.LatencySec
+			}
+			out = append(out, ThrottleRow{
+				Platform: platform, DropFrac: frac,
+				P50Ms:     percentile(lats, 0.50) * 1e3,
+				P99Ms:     percentile(lats, 0.99) * 1e3,
+				NominalMs: percentile(nominal, 0.50) * 1e3,
+				Drops:     inj.Counters().Get(faults.KindClockDrop),
+			})
+		}
+	}
+	return out
+}
+
+// RenderThrottleSweep formats the default DVFS-severity sweep for
+// resnet18 (full-scale timing).
+func (l *Lab) RenderThrottleSweep() string {
+	t := &table{
+		title:  "DVFS throttling: resnet18 latency under clock-drop faults (10% of launches drop to DropFrac, governor ramps back at 3%/launch)",
+		header: []string{"Platform", "DropFrac", "p50(ms)", "p99(ms)", "nominal p50(ms)", "drops"},
+	}
+	for _, r := range l.ThrottleSweep("resnet18", []float64{0.9, 0.75, 0.5, 0.25}, 200) {
+		t.add(r.Platform, f2(r.DropFrac), f2(r.P50Ms), f2(r.P99Ms), f2(r.NominalMs), fmt.Sprintf("%d", r.Drops))
+	}
+	return t.String()
+}
+
+// percentile returns the p-quantile (0..1) of xs by nearest rank.
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	i := int(p * float64(len(s)-1))
+	return s[i]
+}

@@ -1,0 +1,189 @@
+package faults
+
+import (
+	"testing"
+
+	"edgeinfer/internal/fixrand"
+	"edgeinfer/internal/tensor"
+)
+
+func TestZeroPlanInjectsNothing(t *testing.T) {
+	in := Scenario("z", 0).New("nx")
+	for i := 0; i < 1000; i++ {
+		lf := in.Launch(i, "k")
+		if lf.Fail || lf.StallSec != 0 || lf.ClockScale != 1 {
+			t.Fatalf("zero plan injected at launch %d: %+v", i, lf)
+		}
+	}
+	if r, err := in.MemcpyH2D(1 << 20); r != 0 || err != nil {
+		t.Fatalf("zero plan memcpy: retries=%d err=%v", r, err)
+	}
+	w := tensor.NewVec(8)
+	if got := in.CorruptWeights("l", "w", w); got != w {
+		t.Fatal("zero plan returned a weight copy")
+	}
+	if err := in.Alloc(1e9); err != nil {
+		t.Fatalf("zero plan alloc: %v", err)
+	}
+	if c := in.Counters(); c.Total() != 0 {
+		t.Fatalf("zero plan counted faults: %s", c.String())
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	mk := func() (faults []bool, stalls []float64, c Counters) {
+		in := Scenario("replay", 0.3).New("agx")
+		for i := 0; i < 500; i++ {
+			lf := in.Launch(i, "k")
+			faults = append(faults, lf.Fail)
+			stalls = append(stalls, lf.StallSec)
+		}
+		return faults, stalls, in.Counters()
+	}
+	f1, s1, c1 := mk()
+	f2, s2, c2 := mk()
+	for i := range f1 {
+		if f1[i] != f2[i] || s1[i] != s2[i] {
+			t.Fatalf("replay diverges at %d", i)
+		}
+	}
+	if c1 != c2 {
+		t.Fatalf("counters diverge: %s vs %s", c1.String(), c2.String())
+	}
+	// Distinct scenarios must give distinct streams.
+	other := Scenario("replay", 0.3).New("nx")
+	diff := false
+	for i := 0; i < 500; i++ {
+		if other.Launch(i, "k").Fail != f1[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different scenario keys produced the same fault stream")
+	}
+}
+
+func TestClockDropAndRecoveryRamp(t *testing.T) {
+	p := Plan{Seed: "dvfs", ClockDropRate: 0.05, ClockDropFrac: 0.5, ClockRecoverStep: 1.1}
+	in := p.New("nx")
+	sawDrop, sawRamp, sawNominal := false, false, false
+	for i := 0; i < 2000; i++ {
+		s := in.Launch(i, "k").ClockScale
+		if s <= 0 || s > 1 {
+			t.Fatalf("clock scale %v out of range", s)
+		}
+		switch {
+		case s == 0.5:
+			sawDrop = true
+		case s > 0.5 && s < 1:
+			sawRamp = true
+		case s == 1:
+			sawNominal = true
+		}
+	}
+	if !sawDrop || !sawRamp || !sawNominal {
+		t.Fatalf("DVFS state machine incomplete: drop=%v ramp=%v nominal=%v", sawDrop, sawRamp, sawNominal)
+	}
+	if in.Counters().Get(KindClockDrop) == 0 {
+		t.Fatal("no clock drops counted")
+	}
+}
+
+func TestMemcpyRetryBudget(t *testing.T) {
+	p := Plan{Seed: "cp", MemcpyRetryRate: 1, MemcpyMaxRetries: 3}
+	in := p.New("nx")
+	r, err := in.MemcpyH2D(1 << 20)
+	if err == nil {
+		t.Fatal("rate-1 memcpy should exhaust its retry budget")
+	}
+	if r != 3 {
+		t.Fatalf("retries %d, want 3", r)
+	}
+	c := in.Counters()
+	if c.Get(KindMemcpyRetry) != 3 || c.Get(KindMemcpyFail) != 1 {
+		t.Fatalf("counters %s", c.String())
+	}
+}
+
+func TestBitFlipCorruptsCopyNotOriginal(t *testing.T) {
+	p := Plan{Seed: "flip", BitFlipRate: 1, FlipsPerEvent: 2}
+	in := p.New("nx")
+	w := tensor.NewVec(64)
+	src := fixrand.NewKeyed("flip-w")
+	for i := range w.Data {
+		w.Data[i] = float32(src.NormFloat64())
+	}
+	orig := w.Clone()
+	got := in.CorruptWeights("conv1", "w", w)
+	if got == w {
+		t.Fatal("rate-1 bit flip returned the original tensor")
+	}
+	for i := range w.Data {
+		if w.Data[i] != orig.Data[i] {
+			t.Fatal("original weights mutated")
+		}
+	}
+	diff := 0
+	for i := range got.Data {
+		if got.Data[i] != orig.Data[i] {
+			diff++
+		}
+	}
+	if diff == 0 || diff > 2 {
+		t.Fatalf("%d elements changed, want 1-2", diff)
+	}
+	// Activations corrupt in place.
+	y := orig.Clone()
+	in.CorruptActivation("conv1", y)
+	same := true
+	for i := range y.Data {
+		if y.Data[i] != orig.Data[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("rate-1 activation corruption changed nothing")
+	}
+	if in.Counters().Get(KindBitFlip) != 2 {
+		t.Fatalf("bit-flip count %d, want 2", in.Counters().Get(KindBitFlip))
+	}
+}
+
+func TestAllocCapacityModel(t *testing.T) {
+	p := Plan{Seed: "mem", CapacityBytes: 100}
+	in := p.New("nx")
+	if err := in.Alloc(60); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Alloc(60); err == nil {
+		t.Fatal("over-capacity alloc succeeded")
+	}
+	in.Free(60)
+	if err := in.Alloc(60); err != nil {
+		t.Fatalf("alloc after free: %v", err)
+	}
+	if in.Counters().Get(KindAllocFail) != 1 {
+		t.Fatalf("alloc-fail count %d", in.Counters().Get(KindAllocFail))
+	}
+
+	always := Plan{Seed: "mem2", AllocFailRate: 1}.New("nx")
+	if err := always.Alloc(1); err == nil {
+		t.Fatal("rate-1 alloc succeeded")
+	}
+}
+
+func TestFaultRatesApproximatePlan(t *testing.T) {
+	const n = 5000
+	in := Scenario("rates", 0.2).New("nx")
+	fails := 0
+	for i := 0; i < n; i++ {
+		if in.Launch(i, "k").Fail {
+			fails++
+		}
+	}
+	got := float64(fails) / n
+	if got < 0.15 || got > 0.25 {
+		t.Fatalf("launch-fail rate %.3f, want ~0.2", got)
+	}
+}

@@ -1,7 +1,6 @@
 package gpusim
 
 import (
-	"fmt"
 	"math"
 )
 
@@ -129,14 +128,28 @@ func (d *Device) LaunchOverheadSec() float64 {
 // payload of the given size split into the given number of chunks
 // (typically one chunk per engine weight binding). Cost is per-chunk
 // setup plus streaming at the effective pageable H2D bandwidth.
+// Negative sizes (a corrupted engine header can produce one) are clamped
+// to zero: the copy degenerates to per-chunk setup cost instead of
+// crashing the caller.
 func (d *Device) MemcpyH2DSec(bytes int64, chunks int) float64 {
 	if bytes < 0 {
-		panic(fmt.Sprintf("gpusim: negative memcpy size %d", bytes))
+		bytes = 0
 	}
 	if chunks < 1 {
 		chunks = 1
 	}
 	return float64(chunks)*d.Spec.H2DSetupUS*1e-6 + float64(bytes)/(d.Spec.H2DBWGBs*1e9)
+}
+
+// Throttled returns a derived device whose GPU clock is scaled by the
+// given factor (clamped to (0, 1]); the DVFS governor stepping down under
+// a thermal or power event. Fault-injection and degradation paths use it
+// to price work on a throttled board without mutating the shared device.
+func (d *Device) Throttled(scale float64) *Device {
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	return &Device{Spec: d.Spec, ClockMHz: d.ClockMHz * scale}
 }
 
 // ClockScale returns the ratio of this device's configured clock to a

@@ -48,13 +48,36 @@ func (g *Graph) Execute(x *tensor.Tensor) ([]*tensor.Tensor, error) {
 // EvalLayer evaluates a single layer on the given input tensors with the
 // reference operators. It is exported so that the engine runtime can fall
 // back to reference math for ops without specialized kernels.
-func EvalLayer(l *Layer, ins []*tensor.Tensor) (*tensor.Tensor, error) {
+//
+// The reference operators in internal/tensor panic on malformed
+// shapes/parameters — appropriate for model-construction bugs, but this
+// entry point is also reachable from deserialized (untrusted) engine
+// plans via Engine.Infer, so EvalLayer validates the hostile cases up
+// front and converts any residual operator panic into an error: a
+// corrupted engine must degrade, not crash the process.
+func EvalLayer(l *Layer, ins []*tensor.Tensor) (y *tensor.Tensor, err error) {
+	if len(ins) == 0 {
+		return nil, fmt.Errorf("layer has no inputs")
+	}
+	for i, t := range ins {
+		if t == nil {
+			return nil, fmt.Errorf("input %d not materialized", i)
+		}
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			y, err = nil, fmt.Errorf("eval %s(%s): %v", l.Name, l.Op, r)
+		}
+	}()
 	in := ins[0]
 	switch l.Op {
 	case OpConv:
 		w, b := l.Weights["w"], l.Weights["b"]
 		if w == nil {
 			return nil, fmt.Errorf("conv has no weights materialized")
+		}
+		if err := checkConv(in, w, b, l.Conv); err != nil {
+			return nil, err
 		}
 		return tensor.Conv2D(in, w, b, l.Conv), nil
 	case OpMaxPool:
@@ -74,8 +97,22 @@ func EvalLayer(l *Layer, ins []*tensor.Tensor) (*tensor.Tensor, error) {
 		if w == nil {
 			return nil, fmt.Errorf("fc has no weights materialized")
 		}
+		if l.OutUnits < 1 {
+			return nil, fmt.Errorf("fc with OutUnits=%d", l.OutUnits)
+		}
+		if want := l.OutUnits * in.C * in.H * in.W; w.Len() != want {
+			return nil, fmt.Errorf("fc weight len %d, want %d", w.Len(), want)
+		}
+		if b != nil && b.Len() < l.OutUnits {
+			return nil, fmt.Errorf("fc bias len %d, want %d", b.Len(), l.OutUnits)
+		}
 		return tensor.FC(in, w, b, l.OutUnits), nil
 	case OpBatchNorm:
+		for _, k := range []string{"gamma", "beta", "mean", "var"} {
+			if t := l.Weights[k]; t != nil && t.Len() < in.C {
+				return nil, fmt.Errorf("batchnorm %s len %d, want %d", k, t.Len(), in.C)
+			}
+		}
 		return tensor.BatchNorm(in, l.Weights["gamma"], l.Weights["beta"], l.Weights["mean"], l.Weights["var"], 1e-5), nil
 	case OpLRN:
 		return tensor.LRN(in, l.LRNSize, l.Alpha, l.LRNBeta, l.LRNK), nil
@@ -84,6 +121,9 @@ func EvalLayer(l *Layer, ins []*tensor.Tensor) (*tensor.Tensor, error) {
 	case OpAdd:
 		y := ins[0]
 		for _, t := range ins[1:] {
+			if !y.SameShape(t) {
+				return nil, fmt.Errorf("add shape mismatch %v vs %v", y.Shape(), t.Shape())
+			}
 			y = tensor.Add(y, t)
 		}
 		return y, nil
@@ -120,4 +160,30 @@ func EvalLayer(l *Layer, ins []*tensor.Tensor) (*tensor.Tensor, error) {
 	default:
 		return nil, fmt.Errorf("EvalLayer: unsupported op %v", l.Op)
 	}
+}
+
+// checkConv validates the conditions tensor.Conv2D would panic on, so a
+// corrupted plan produces an error instead.
+func checkConv(x, w, b *tensor.Tensor, p tensor.ConvParams) error {
+	if p.Kernel < 1 || p.Stride < 1 || p.Pad < 0 || p.OutC < 1 {
+		return fmt.Errorf("conv params k=%d s=%d p=%d outC=%d invalid", p.Kernel, p.Stride, p.Pad, p.OutC)
+	}
+	groups := p.Groups
+	if groups <= 0 {
+		groups = 1
+	}
+	if x.C%groups != 0 || p.OutC%groups != 0 {
+		return fmt.Errorf("conv groups %d do not divide channels in=%d out=%d", groups, x.C, p.OutC)
+	}
+	if want := p.OutC * (x.C / groups) * p.Kernel * p.Kernel; w.Len() != want {
+		return fmt.Errorf("conv weight len %d, want %d", w.Len(), want)
+	}
+	if b != nil && b.Len() < p.OutC {
+		return fmt.Errorf("conv bias len %d, want %d", b.Len(), p.OutC)
+	}
+	if tensor.ConvOutDim(x.H, p.Kernel, p.Stride, p.Pad) < 1 ||
+		tensor.ConvOutDim(x.W, p.Kernel, p.Stride, p.Pad) < 1 {
+		return fmt.Errorf("conv output not positive for input %v", x.Shape())
+	}
+	return nil
 }

@@ -31,7 +31,13 @@ func (g *Graph) layerOutShape(l *Layer) ([4]int, error) {
 
 	case OpConv:
 		p := l.Conv
+		if p.Kernel < 1 || p.Stride < 1 || p.Pad < 0 || p.OutC < 1 {
+			return in, fmt.Errorf("conv params k=%d s=%d p=%d outC=%d invalid", p.Kernel, p.Stride, p.Pad, p.OutC)
+		}
 		groups := p.Groups
+		if groups < 0 {
+			return in, fmt.Errorf("conv groups %d negative", groups)
+		}
 		if groups == 0 {
 			groups = 1
 		}
@@ -47,6 +53,9 @@ func (g *Graph) layerOutShape(l *Layer) ([4]int, error) {
 
 	case OpMaxPool, OpAvgPool:
 		p := l.Pool
+		if p.Kernel < 1 || p.Stride < 1 || p.Pad < 0 {
+			return in, fmt.Errorf("pool params k=%d s=%d p=%d invalid", p.Kernel, p.Stride, p.Pad)
+		}
 		oh := tensor.ConvOutDim(in[2], p.Kernel, p.Stride, p.Pad)
 		ow := tensor.ConvOutDim(in[3], p.Kernel, p.Stride, p.Pad)
 		if oh <= 0 || ow <= 0 {

@@ -34,19 +34,36 @@ func (v Variant) tileChannels(kernel int) int {
 }
 
 // ExecConv runs a convolution with variant-specific accumulation. The
-// weight tensor layout matches tensor.Conv2D.
-func ExecConv(v Variant, x, w, b *tensor.Tensor, p tensor.ConvParams) *tensor.Tensor {
+// weight tensor layout matches tensor.Conv2D. Mismatched weights or
+// degenerate parameters — the signature of a corrupted engine plan —
+// return an error rather than crashing the process.
+func ExecConv(v Variant, x, w, b *tensor.Tensor, p tensor.ConvParams) (*tensor.Tensor, error) {
+	if x == nil || w == nil {
+		return nil, fmt.Errorf("kernels: conv with nil input or weights")
+	}
+	if p.Kernel < 1 || p.Stride < 1 || p.Pad < 0 || p.OutC < 1 {
+		return nil, fmt.Errorf("kernels: conv params k=%d s=%d p=%d outC=%d invalid", p.Kernel, p.Stride, p.Pad, p.OutC)
+	}
 	groups := p.Groups
 	if groups <= 0 {
 		groups = 1
 	}
+	if x.C%groups != 0 || p.OutC%groups != 0 {
+		return nil, fmt.Errorf("kernels: conv groups %d do not divide channels in=%d out=%d", groups, x.C, p.OutC)
+	}
 	icg := x.C / groups
 	ocg := p.OutC / groups
 	if want := p.OutC * icg * p.Kernel * p.Kernel; w.Len() != want {
-		panic(fmt.Sprintf("kernels: conv weight len %d, want %d", w.Len(), want))
+		return nil, fmt.Errorf("kernels: conv weight len %d, want %d", w.Len(), want)
+	}
+	if b != nil && b.Len() < p.OutC {
+		return nil, fmt.Errorf("kernels: conv bias len %d, want %d", b.Len(), p.OutC)
 	}
 	oh := tensor.ConvOutDim(x.H, p.Kernel, p.Stride, p.Pad)
 	ow := tensor.ConvOutDim(x.W, p.Kernel, p.Stride, p.Pad)
+	if oh < 1 || ow < 1 {
+		return nil, fmt.Errorf("kernels: conv output %dx%d not positive", oh, ow)
+	}
 	y := tensor.New(x.N, p.OutC, oh, ow)
 	tileC := v.tileChannels(p.Kernel)
 
@@ -69,7 +86,7 @@ func ExecConv(v Variant, x, w, b *tensor.Tensor, p tensor.ConvParams) *tensor.Te
 			}
 		}
 	}
-	return y
+	return y, nil
 }
 
 // reduceConv accumulates one output element. Channels are processed in
@@ -131,10 +148,20 @@ func (v Variant) combine(partials []float32) float32 {
 }
 
 // ExecFC runs a fully-connected layer with variant-specific accumulation.
-func ExecFC(v Variant, x, w, b *tensor.Tensor, out int) *tensor.Tensor {
+// Like ExecConv, malformed weights return an error instead of panicking.
+func ExecFC(v Variant, x, w, b *tensor.Tensor, out int) (*tensor.Tensor, error) {
+	if x == nil || w == nil {
+		return nil, fmt.Errorf("kernels: fc with nil input or weights")
+	}
+	if out < 1 {
+		return nil, fmt.Errorf("kernels: fc with out=%d", out)
+	}
 	in := x.C * x.H * x.W
 	if w.Len() != out*in {
-		panic(fmt.Sprintf("kernels: fc weight len %d, want %d", w.Len(), out*in))
+		return nil, fmt.Errorf("kernels: fc weight len %d, want %d", w.Len(), out*in)
+	}
+	if b != nil && b.Len() < out {
+		return nil, fmt.Errorf("kernels: fc bias len %d, want %d", b.Len(), out)
 	}
 	tile := v.TileK
 	if tile < 1 {
@@ -167,5 +194,5 @@ func ExecFC(v Variant, x, w, b *tensor.Tensor, out int) *tensor.Tensor {
 			y.Set(n, o, 0, 0, val)
 		}
 	}
-	return y
+	return y, nil
 }

@@ -213,12 +213,52 @@ func randTensor(key string, n, c, h, w int) *tensor.Tensor {
 	return x
 }
 
+func mustExecConv(t *testing.T, v Variant, x, w, b *tensor.Tensor, p tensor.ConvParams) *tensor.Tensor {
+	t.Helper()
+	y, err := ExecConv(v, x, w, b, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return y
+}
+
+func mustExecFC(t *testing.T, v Variant, x, w, b *tensor.Tensor, out int) *tensor.Tensor {
+	t.Helper()
+	y, err := ExecFC(v, x, w, b, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return y
+}
+
+func TestExecRejectsCorruptWeights(t *testing.T) {
+	x := randTensor("cw-x", 1, 8, 10, 10)
+	short := randTensor("cw-w", 8, 8, 3, 1) // wrong length for a 3x3 conv
+	p := tensor.ConvParams{OutC: 8, Kernel: 3, Stride: 1, Pad: 1, Groups: 1}
+	v := Variant{Family: FamCUDAConv, TileM: 128, TileN: 64, TileK: 32, Precision: tensor.FP32}
+	if _, err := ExecConv(v, x, short, nil, p); err == nil {
+		t.Fatal("ExecConv accepted mismatched weights")
+	}
+	if _, err := ExecConv(v, x, nil, nil, p); err == nil {
+		t.Fatal("ExecConv accepted nil weights")
+	}
+	if _, err := ExecConv(v, x, short, nil, tensor.ConvParams{OutC: 8, Kernel: 3, Stride: 0}); err == nil {
+		t.Fatal("ExecConv accepted zero stride")
+	}
+	if _, err := ExecFC(v, x, short, nil, 10); err == nil {
+		t.Fatal("ExecFC accepted mismatched weights")
+	}
+	if _, err := ExecFC(v, x, nil, nil, 10); err == nil {
+		t.Fatal("ExecFC accepted nil weights")
+	}
+}
+
 func TestExecConvFP32MatchesReference(t *testing.T) {
 	x := randTensor("ec-x", 1, 8, 10, 10)
 	w := randTensor("ec-w", 8, 8, 3, 3)
 	p := tensor.ConvParams{OutC: 8, Kernel: 3, Stride: 1, Pad: 1, Groups: 1}
 	v := Variant{Family: FamCUDAConv, TileM: 128, TileN: 64, TileK: 32, Precision: tensor.FP32}
-	got := ExecConv(v, x, w, nil, p)
+	got := mustExecConv(t, v, x, w, nil, p)
 	want := tensor.Conv2D(x, w, nil, p)
 	for i := range want.Data {
 		if math.Abs(float64(got.Data[i]-want.Data[i])) > 1e-4 {
@@ -232,7 +272,7 @@ func TestExecConvFusedReLU(t *testing.T) {
 	w := randTensor("ecr-w", 4, 4, 3, 3)
 	p := tensor.ConvParams{OutC: 4, Kernel: 3, Stride: 1, Pad: 1, Groups: 1}
 	v := Variant{Family: FamHMMAConv, TileM: 64, TileN: 64, TileK: 64, Precision: tensor.FP16, FusedAct: true}
-	y := ExecConv(v, x, w, nil, p)
+	y := mustExecConv(t, v, x, w, nil, p)
 	for _, val := range y.Data {
 		if val < 0 {
 			t.Fatal("fused relu produced negative output")
@@ -248,8 +288,8 @@ func TestDifferentVariantsDifferentOutputs(t *testing.T) {
 	p := tensor.ConvParams{OutC: 32, Kernel: 3, Stride: 1, Pad: 1, Groups: 1}
 	v1 := Variant{Family: FamHMMAConv, TileM: 64, TileN: 64, TileK: 64, Precision: tensor.FP16}
 	v2 := Variant{Family: FamHMMAConv, TileM: 256, TileN: 64, TileK: 256, Precision: tensor.FP16}
-	y1 := ExecConv(v1, x, w, nil, p)
-	y2 := ExecConv(v2, x, w, nil, p)
+	y1 := mustExecConv(t, v1, x, w, nil, p)
+	y2 := mustExecConv(t, v2, x, w, nil, p)
 	diff := 0
 	for i := range y1.Data {
 		if y1.Data[i] != y2.Data[i] {
@@ -279,8 +319,8 @@ func TestSplitKChangesCombination(t *testing.T) {
 	base := Variant{Family: FamHMMAConv, TileM: 128, TileN: 64, TileK: 64, Precision: tensor.FP16}
 	split := base
 	split.SplitK = 2
-	y1 := ExecConv(base, x, w, nil, p)
-	y2 := ExecConv(split, x, w, nil, p)
+	y1 := mustExecConv(t, base, x, w, nil, p)
+	y2 := mustExecConv(t, split, x, w, nil, p)
 	diff := 0
 	for i := range y1.Data {
 		if y1.Data[i] != y2.Data[i] {
@@ -296,7 +336,7 @@ func TestExecFCMatchesReferenceFP32(t *testing.T) {
 	x := randTensor("fc-x", 1, 32, 2, 2)
 	w := randTensor("fc-w", 1, 10*128, 1, 1)
 	v := Variant{Family: FamGEMM, TileM: 128, TileN: 64, TileK: 32, Precision: tensor.FP32}
-	got := ExecFC(v, x, w, nil, 10)
+	got := mustExecFC(t, v, x, w, nil, 10)
 	want := tensor.FC(x, w, nil, 10)
 	for i := range want.Data {
 		if math.Abs(float64(got.Data[i]-want.Data[i])) > 1e-4 {
@@ -309,7 +349,7 @@ func TestExecFCFP16CloseToReference(t *testing.T) {
 	x := randTensor("fch-x", 1, 64, 2, 2)
 	w := randTensor("fch-w", 1, 10*256, 1, 1)
 	v := Variant{Family: FamGEMM, TileM: 64, TileN: 64, TileK: 64, Precision: tensor.FP16}
-	got := ExecFC(v, x, w, nil, 10)
+	got := mustExecFC(t, v, x, w, nil, 10)
 	want := tensor.FC(x, w, nil, 10)
 	for i := range want.Data {
 		rel := math.Abs(float64(got.Data[i]-want.Data[i])) / (math.Abs(float64(want.Data[i])) + 1)

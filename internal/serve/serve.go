@@ -1,0 +1,410 @@
+// Package serve wraps a built engine into a resilient inference
+// executor: the layer a production deployment needs between "an engine
+// exists" and "requests get answered" once the device stops being
+// pristine. It provides per-request deadlines, bounded retry with
+// exponential backoff and seeded jitter, a circuit breaker that trips on
+// persistent primary-engine faults, health/heartbeat state, and a
+// graceful-degradation fallback chain:
+//
+//	tuned engine  →  lower-batch engine  →  FP32 reference path
+//
+// The final tier runs the un-optimized model on the host
+// (core.UnoptimizedRun / core.UnoptimizedInfer), which the accelerator
+// fault plan cannot touch, so a correctly configured executor answers
+// every request — at degraded latency and baseline accuracy — even under
+// a 100%-fault plan. Every fault seen, retry issued, deadline missed and
+// fallback taken is counted.
+package serve
+
+import (
+	"fmt"
+	"sync"
+
+	"edgeinfer/internal/core"
+	"edgeinfer/internal/fixrand"
+	"edgeinfer/internal/gpusim"
+	"edgeinfer/internal/graph"
+	"edgeinfer/internal/tensor"
+)
+
+// Tier identifies which stage of the degradation chain served a request.
+type Tier int
+
+const (
+	// TierTuned is the primary TRT-style engine.
+	TierTuned Tier = iota
+	// TierLowBatch is the optional reduced-batch engine (smaller memory
+	// footprint, shorter plan).
+	TierLowBatch
+	// TierFP32 is the un-optimized host reference path.
+	TierFP32
+
+	numTiers
+)
+
+var tierNames = [numTiers]string{"tuned", "low-batch", "fp32"}
+
+// String implements fmt.Stringer.
+func (t Tier) String() string {
+	if int(t) < len(tierNames) {
+		return tierNames[t]
+	}
+	return fmt.Sprintf("tier(%d)", int(t))
+}
+
+// Allocator is the memory-pressure admission interface
+// (faults.Injector implements it). Alloc reserves a request's per-thread
+// footprint; Free releases it.
+type Allocator interface {
+	Alloc(bytes float64) error
+	Free(bytes float64)
+}
+
+// Config parameterizes an Executor. Engine, Fallback and Device are
+// required; everything else has working defaults.
+type Config struct {
+	// Engine is the primary tuned engine.
+	Engine *core.Engine
+	// LowBatch is an optional reduced-batch engine tried after the
+	// primary fails (nil skips the tier).
+	LowBatch *core.Engine
+	// Fallback is the pristine un-optimized graph for the FP32 tier. It
+	// must have materialized weights if numeric requests are served.
+	Fallback *graph.Graph
+	// Device the requests run on.
+	Device *gpusim.Device
+	// Injector is the fault plan to execute under (nil = pristine).
+	Injector core.FaultInjector
+	// IncludeMemcpy counts the H2D weight copy in each attempt.
+	IncludeMemcpy bool
+	// DeadlineSec bounds one request's accumulated simulated latency;
+	// exceeding it abandons the current tier and degrades (0 = none).
+	DeadlineSec float64
+	// MaxRetries bounds retries per accelerated tier (so each tier makes
+	// at most MaxRetries+1 attempts). Default 2.
+	MaxRetries int
+	// BackoffBaseSec is the first retry's backoff; it doubles per retry
+	// with ±50% seeded jitter, capped at BackoffMaxSec. Defaults 1ms/50ms.
+	BackoffBaseSec float64
+	BackoffMaxSec  float64
+	// BreakerThreshold trips the circuit breaker after this many
+	// consecutive primary-tier terminal failures (default 5).
+	BreakerThreshold int
+	// BreakerCooldown is how many requests the breaker stays open
+	// (short-circuiting the primary tier) before a half-open probe
+	// (default 10).
+	BreakerCooldown int
+	// Seed keys the backoff-jitter stream.
+	Seed string
+}
+
+func (c *Config) withDefaults() Config {
+	d := *c
+	if d.MaxRetries <= 0 {
+		d.MaxRetries = 2
+	}
+	if d.BackoffBaseSec <= 0 {
+		d.BackoffBaseSec = 1e-3
+	}
+	if d.BackoffMaxSec <= 0 {
+		d.BackoffMaxSec = 50e-3
+	}
+	if d.BreakerThreshold <= 0 {
+		d.BreakerThreshold = 5
+	}
+	if d.BreakerCooldown <= 0 {
+		d.BreakerCooldown = 10
+	}
+	return d
+}
+
+// Result is one served request.
+type Result struct {
+	// Outputs are the numeric outputs (nil for timed-only requests).
+	Outputs []*tensor.Tensor
+	// LatencySec is the end-to-end simulated latency: every attempt's
+	// run time (including the partial time of failed attempts), stalls,
+	// memcpy retries, and backoff waits.
+	LatencySec float64
+	// Tier that finally served the request.
+	Tier Tier
+	// Retries issued across all tiers.
+	Retries int
+	// Degraded reports the request was not served by the tuned engine.
+	Degraded bool
+	// DeadlineMiss reports the accumulated latency exceeded the deadline
+	// (the request is still answered, by a cheaper tier).
+	DeadlineMiss bool
+}
+
+// Stats are the executor's cumulative degradation counters.
+type Stats struct {
+	Requests        uint64
+	Retries         uint64
+	DeadlineMisses  uint64
+	AllocRejects    uint64
+	TierServed      [numTiers]uint64
+	BreakerTrips    uint64
+	BreakerSkips    uint64 // requests that short-circuited the open breaker
+	TierFailures    [numTiers]uint64
+}
+
+// Health is the executor's heartbeat view.
+type Health struct {
+	// State is "healthy", "degraded" (last request fell back) or "open"
+	// (circuit breaker tripped).
+	State string
+	// ConsecutiveFailures of the primary tier.
+	ConsecutiveFailures int
+	// LastTier that served a request.
+	LastTier Tier
+	Requests uint64
+}
+
+// Executor is the resilient inference front end. Safe for concurrent use.
+type Executor struct {
+	cfg Config
+
+	mu          sync.Mutex
+	rng         *fixrand.Source
+	consecFails int
+	open        bool
+	cooldown    int // requests left before a half-open probe
+	lastTier    Tier
+	stats       Stats
+}
+
+// New validates the config and builds an executor.
+func New(cfg Config) (*Executor, error) {
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("serve: config needs a primary engine")
+	}
+	if cfg.Device == nil {
+		return nil, fmt.Errorf("serve: config needs a device")
+	}
+	if cfg.Fallback == nil {
+		return nil, fmt.Errorf("serve: config needs a fallback graph")
+	}
+	if !cfg.Fallback.Finalized() {
+		return nil, fmt.Errorf("serve: fallback graph is not finalized")
+	}
+	c := cfg.withDefaults()
+	return &Executor{
+		cfg: c,
+		rng: fixrand.NewKeyed("serve/" + c.Seed + "/" + c.Engine.Key()),
+	}, nil
+}
+
+// Stats returns a snapshot of the degradation counters.
+func (ex *Executor) Stats() Stats {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	return ex.stats
+}
+
+// Health returns the heartbeat state.
+func (ex *Executor) Health() Health {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	h := Health{
+		ConsecutiveFailures: ex.consecFails,
+		LastTier:            ex.lastTier,
+		Requests:            ex.stats.Requests,
+	}
+	switch {
+	case ex.open:
+		h.State = "open"
+	case ex.lastTier != TierTuned && ex.stats.Requests > 0:
+		h.State = "degraded"
+	default:
+		h.State = "healthy"
+	}
+	return h
+}
+
+// admitTuned decides whether this request may try the primary tier,
+// honouring the circuit breaker's open/half-open cycle.
+func (ex *Executor) admitTuned() bool {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	if !ex.open {
+		return true
+	}
+	if ex.cooldown > 0 {
+		ex.cooldown--
+		ex.stats.BreakerSkips++
+		return false
+	}
+	// Half-open: let one probe through; recordPrimary re-opens on failure.
+	return true
+}
+
+func (ex *Executor) recordPrimary(ok bool) {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	if ok {
+		ex.consecFails = 0
+		ex.open = false
+		return
+	}
+	ex.consecFails++
+	if ex.open {
+		// Failed half-open probe: re-arm the cooldown.
+		ex.cooldown = ex.cfg.BreakerCooldown
+		return
+	}
+	if ex.consecFails >= ex.cfg.BreakerThreshold {
+		ex.open = true
+		ex.cooldown = ex.cfg.BreakerCooldown
+		ex.stats.BreakerTrips++
+	}
+}
+
+// backoff returns the jittered wait before retry attempt (1-based).
+func (ex *Executor) backoff(attempt int) float64 {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	d := ex.cfg.BackoffBaseSec * float64(int(1)<<uint(attempt-1))
+	if d > ex.cfg.BackoffMaxSec {
+		d = ex.cfg.BackoffMaxSec
+	}
+	return d * (0.5 + ex.rng.Float64()) // ±50% jitter
+}
+
+func (ex *Executor) count(f func(s *Stats)) {
+	ex.mu.Lock()
+	f(&ex.stats)
+	ex.mu.Unlock()
+}
+
+// Do serves one request: a timed pass over the engine plan and — when x
+// is non-nil and the serving tier is numeric — a numeric inference whose
+// outputs are returned. With a nil or zero-rate injector the result is
+// bit-identical to calling Engine.Run and Engine.Infer directly. Under
+// faults it degrades down the chain; it returns an error only if the
+// FP32 reference path itself cannot serve (a configuration bug, not a
+// device fault).
+func (ex *Executor) Do(x *tensor.Tensor, runIndex int) (*Result, error) {
+	ex.count(func(s *Stats) { s.Requests++ })
+	res := &Result{Tier: TierFP32}
+
+	tryTuned := ex.admitTuned()
+	alloc, _ := ex.cfg.Injector.(Allocator)
+
+	for tier := TierTuned; tier < TierFP32; tier++ {
+		eng := ex.cfg.Engine
+		if tier == TierLowBatch {
+			eng = ex.cfg.LowBatch
+		}
+		if eng == nil || (tier == TierTuned && !tryTuned) {
+			continue
+		}
+		// A numeric request needs a numeric engine; a timing-only tier
+		// cannot serve it (configuration mismatch, not a device fault).
+		if x != nil && !eng.Numeric {
+			continue
+		}
+		if ex.deadlineExceeded(res) {
+			break
+		}
+		// Memory-pressure admission: reserve the engine's per-thread
+		// footprint for the attempt window.
+		if alloc != nil {
+			if err := alloc.Alloc(eng.PerThreadMemBytes()); err != nil {
+				ex.count(func(s *Stats) { s.AllocRejects++ })
+				if tier == TierTuned {
+					ex.recordPrimary(false)
+				}
+				continue // engine needs memory it cannot get: degrade
+			}
+		}
+		ok := ex.tryTier(eng, tier, x, runIndex, res)
+		if alloc != nil {
+			alloc.Free(eng.PerThreadMemBytes())
+		}
+		if tier == TierTuned {
+			ex.recordPrimary(ok)
+		}
+		if ok {
+			res.Tier = tier
+			res.Degraded = tier != TierTuned
+			ex.count(func(s *Stats) { s.TierServed[tier]++ })
+			ex.setLastTier(tier)
+			return res, nil
+		}
+		ex.count(func(s *Stats) { s.TierFailures[tier]++ })
+	}
+
+	// Terminal tier: the FP32 host path, outside the accelerator fault
+	// domain. UnoptimizedRun prices the framework's reference execution.
+	res.LatencySec += core.UnoptimizedRun(ex.cfg.Fallback, ex.cfg.Device)
+	ex.deadlineExceeded(res) // count the miss if the fallback pushed us over
+	if x != nil {
+		outs, err := core.UnoptimizedInfer(ex.cfg.Fallback, x)
+		if err != nil {
+			return nil, fmt.Errorf("serve: FP32 fallback failed: %w", err)
+		}
+		res.Outputs = outs
+	}
+	res.Tier = TierFP32
+	res.Degraded = true
+	ex.count(func(s *Stats) { s.TierServed[TierFP32]++ })
+	ex.setLastTier(TierFP32)
+	return res, nil
+}
+
+// tryTier makes up to MaxRetries+1 attempts on one engine, accumulating
+// latency (including failed attempts and backoff) into res. Returns
+// whether the tier served the request, leaving outputs in res on success.
+func (ex *Executor) tryTier(eng *core.Engine, tier Tier, x *tensor.Tensor, runIndex int, res *Result) bool {
+	cfg := core.RunConfig{
+		Device:        ex.cfg.Device,
+		IncludeMemcpy: ex.cfg.IncludeMemcpy,
+		RunIndex:      runIndex,
+	}
+	for attempt := 0; attempt <= ex.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			res.Retries++
+			ex.count(func(s *Stats) { s.Retries++ })
+			res.LatencySec += ex.backoff(attempt)
+			if ex.deadlineExceeded(res) {
+				return false
+			}
+		}
+		run, err := eng.RunFaulty(cfg, ex.cfg.Injector)
+		res.LatencySec += run.LatencySec
+		if err == nil && x != nil && eng.Numeric {
+			var outs []*tensor.Tensor
+			outs, err = eng.InferFaulty(x, ex.cfg.Injector)
+			if err == nil {
+				res.Outputs = outs
+			}
+		}
+		if err == nil {
+			if ex.deadlineExceeded(res) {
+				// Served, but too late: keep the answer, record the miss.
+				return true
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// deadlineExceeded checks (and counts, once) the request deadline.
+func (ex *Executor) deadlineExceeded(res *Result) bool {
+	if ex.cfg.DeadlineSec <= 0 || res.LatencySec <= ex.cfg.DeadlineSec {
+		return false
+	}
+	if !res.DeadlineMiss {
+		res.DeadlineMiss = true
+		ex.count(func(s *Stats) { s.DeadlineMisses++ })
+	}
+	return true
+}
+
+func (ex *Executor) setLastTier(t Tier) {
+	ex.mu.Lock()
+	ex.lastTier = t
+	ex.mu.Unlock()
+}
