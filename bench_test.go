@@ -331,7 +331,11 @@ func BenchmarkNumericInference(b *testing.B) {
 func BenchmarkExtensionPrecisionStudy(b *testing.B) {
 	var rows []experiments.PrecisionRow
 	for i := 0; i < b.N; i++ {
-		rows = experiments.NewLab(benchOpts()).PrecisionStudy()
+		var err error
+		rows, err = experiments.NewLab(benchOpts()).PrecisionStudy()
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	for _, r := range rows {
 		if r.Model == "resnet18" && r.Precision.String() == "int8" {

@@ -1,10 +1,15 @@
 #!/bin/sh
 # CI gate: the tier-1 checks (build + test) plus vet, the race detector
-# (the serve/faults packages are exercised concurrently), and a short
-# fuzz smoke over the untrusted plan loader. Run from the repo root.
+# (the serve/faults packages are exercised concurrently), a short fuzz
+# smoke over the untrusted plan loader, and the rtlint static-analysis
+# suite — source analyzers over the module, then static plan-IR
+# verification of every classifier engine the results are generated
+# from. Run from the repo root.
 set -eux
 
 go vet ./...
 go build ./...
 go test -race ./...
 go test -run='^$' -fuzz=FuzzLoad -fuzztime=10s ./internal/core
+go run ./cmd/rtlint ./...
+go run ./cmd/rtlint -plancheck

@@ -47,8 +47,18 @@ func main() {
 
 	switch {
 	case *ext:
-		fmt.Println(lab.RenderPrecisionStudy())
-		fmt.Println(lab.RenderBatchSweep())
+		precision, err := lab.RenderPrecisionStudy()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtables:", err)
+			os.Exit(1)
+		}
+		fmt.Println(precision)
+		batch, err := lab.RenderBatchSweep()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtables:", err)
+			os.Exit(1)
+		}
+		fmt.Println(batch)
 		fmt.Println(lab.RenderEnergyStudy())
 		fmt.Println(lab.RenderClockSweep())
 		fmt.Println(lab.RenderDetectionStudy())

@@ -45,7 +45,17 @@ func main() {
 	}
 
 	lab := experiments.NewLab(experiments.Default())
-	text := lab.RenderFaultToleranceFor(*model, rates, *requests) + "\n" + lab.RenderThrottleSweep()
+	faultText, err := lab.RenderFaultToleranceFor(*model, rates, *requests)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faultbench:", err)
+		os.Exit(1)
+	}
+	throttleText, err := lab.RenderThrottleSweep()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faultbench:", err)
+		os.Exit(1)
+	}
+	text := faultText + "\n" + throttleText
 	fmt.Println(text)
 
 	if *out != "" {

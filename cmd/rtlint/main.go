@@ -1,0 +1,147 @@
+// Command rtlint is the repository's static-analysis gate. With no
+// flags it loads the enclosing module and runs the source analyzers
+// (determinism, panicpath, errcheck, floatorder); error-severity
+// findings fail the build. Plan IR is checked statically too:
+//
+//	rtlint                  analyze the module's source (package args ignored)
+//	rtlint -plan file.plan  verify a serialized engine plan on disk
+//	rtlint -plancheck       build + serialize + verify every classifier plan
+//
+// Findings are suppressed per line with
+// `//rtlint:allow <analyzer>[, ...] -- <justification>`.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"edgeinfer/internal/analysis"
+	"edgeinfer/internal/core"
+	"edgeinfer/internal/gpusim"
+	"edgeinfer/internal/models"
+	"edgeinfer/internal/planlint"
+)
+
+func main() {
+	planFile := flag.String("plan", "", "verify the serialized engine plan at this path instead of analyzing source")
+	planCheck := flag.Bool("plancheck", false, "build, serialize and statically verify every classifier model plan")
+	flag.Parse()
+
+	var exit int
+	switch {
+	case *planFile != "":
+		exit = runPlanFile(*planFile)
+	case *planCheck:
+		exit = runPlanCheck()
+	default:
+		exit = runSource()
+	}
+	os.Exit(exit)
+}
+
+// runSource analyzes the module containing the working directory.
+// Positional package patterns ("./...") are accepted for familiarity but
+// the whole module is always analyzed.
+func runSource() int {
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rtlint:", err)
+		return 2
+	}
+	m, err := analysis.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rtlint:", err)
+		return 2
+	}
+	analyzers := []*analysis.Analyzer{
+		analysis.Determinism(analysis.DefaultRestricted),
+		analysis.PanicPath(analysis.DefaultPanicRoots),
+		analysis.ErrCheck(),
+		analysis.FloatOrder(),
+	}
+	findings := analysis.RunAnalyzers(m, analyzers)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if analysis.HasErrors(findings) {
+		fmt.Fprintf(os.Stderr, "rtlint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// runPlanFile statically verifies one plan file.
+func runPlanFile(path string) int {
+	issues, err := core.VerifyPlanFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rtlint:", err)
+		return 2
+	}
+	return reportIssues(path, issues)
+}
+
+// runPlanCheck builds every classifier's numeric engine, serializes it
+// and verifies the resulting plan bytes — the same plans the paper's
+// result tables are generated from.
+func runPlanCheck() int {
+	names := []string{"alexnet", "googlenet", "inceptionv4", "resnet18", "vgg16"}
+	sort.Strings(names)
+	exit := 0
+	for _, name := range names {
+		g, err := models.BuildProxy(name, models.DefaultProxyOptions())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rtlint: %s: %v\n", name, err)
+			return 2
+		}
+		e, err := core.Build(g, core.DefaultConfig(gpusim.XavierNX(), 1))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rtlint: %s: build: %v\n", name, err)
+			return 2
+		}
+		var buf bytes.Buffer
+		if err := e.Save(&buf); err != nil {
+			fmt.Fprintf(os.Stderr, "rtlint: %s: save: %v\n", name, err)
+			return 2
+		}
+		if code := reportIssues(name, core.VerifyPlanData(&buf)); code != 0 {
+			exit = code
+		}
+	}
+	if exit == 0 {
+		fmt.Printf("rtlint: %d plan(s) verified clean\n", len(names))
+	}
+	return exit
+}
+
+func reportIssues(subject string, issues []planlint.Issue) int {
+	for _, i := range issues {
+		fmt.Printf("%s: %s\n", subject, i)
+	}
+	if planlint.HasErrors(issues) {
+		return 1
+	}
+	return 0
+}

@@ -94,8 +94,14 @@ func main() {
 	images := plateImages(1000) // boundary-rich evidence set
 	disagreements := 0
 	for i, img := range images {
-		a, _ := unitA.Infer(img)
-		b, _ := unitB.Infer(img)
+		a, err := unitA.Infer(img)
+		if err != nil {
+			log.Fatal(err)
+		}
+		b, err := unitB.Infer(img)
+		if err != nil {
+			log.Fatal(err)
+		}
 		ca, cb := a[0].Argmax(), b[0].Argmax()
 		if ca != cb {
 			disagreements++

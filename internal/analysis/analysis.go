@@ -1,0 +1,115 @@
+// Package analysis is a small, dependency-free static-analysis framework
+// over go/ast + go/types, purpose-built for this repository's invariants:
+// deterministic builds, panic-free serving paths, and checked errors.
+// It loads a whole module (LoadModule), runs a set of Analyzers over it
+// and reports Findings with exact positions. Findings can be suppressed
+// at a specific line with a
+//
+//	//rtlint:allow <analyzer>[, <analyzer>...] -- <justification>
+//
+// directive placed on the flagged line or on the line directly above it.
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Severity classifies a finding. Error-severity findings fail the build
+// (cmd/rtlint exits non-zero); warnings are advisory.
+type Severity uint8
+
+const (
+	Warn Severity = iota
+	Error
+)
+
+// String implements fmt.Stringer.
+func (s Severity) String() string {
+	if s == Error {
+		return "error"
+	}
+	return "warn"
+}
+
+// Finding is one diagnostic produced by an analyzer.
+type Finding struct {
+	Analyzer string
+	Severity Severity
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: [%s] %s",
+		f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Severity, f.Analyzer, f.Message)
+}
+
+// Analyzer is one named check run over a loaded module.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and allow directives.
+	Name string
+	// Doc is a one-line description shown by the driver.
+	Doc string
+	// Run inspects the module and reports findings through r.
+	Run func(m *Module, r *Reporter)
+}
+
+// Reporter collects findings for one analyzer, applying allow-directive
+// suppression at report time.
+type Reporter struct {
+	module   *Module
+	analyzer string
+	findings *[]Finding
+}
+
+// Report records a finding at pos unless an allow directive suppresses
+// it there.
+func (r *Reporter) Report(sev Severity, pos token.Pos, format string, args ...any) {
+	p := r.module.Fset.Position(pos)
+	if r.module.Allowed(r.analyzer, p.Filename, p.Line) {
+		return
+	}
+	*r.findings = append(*r.findings, Finding{
+		Analyzer: r.analyzer,
+		Severity: sev,
+		Pos:      p,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// RunAnalyzers executes every analyzer over the module and returns all
+// findings sorted by position, then analyzer name.
+func RunAnalyzers(m *Module, analyzers []*Analyzer) []Finding {
+	var findings []Finding
+	for _, a := range analyzers {
+		r := &Reporter{module: m, analyzer: a.Name, findings: &findings}
+		a.Run(m, r)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings
+}
+
+// HasErrors reports whether any finding is error severity.
+func HasErrors(findings []Finding) bool {
+	for _, f := range findings {
+		if f.Severity == Error {
+			return true
+		}
+	}
+	return false
+}

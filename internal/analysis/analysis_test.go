@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixtureAnalyzers is the production analyzer set, run against the
+// fixture module under testdata/module (whose module path is also
+// "edgeinfer", so the default restricted paths and panic roots resolve).
+func fixtureAnalyzers() []*Analyzer {
+	return []*Analyzer{
+		Determinism(DefaultRestricted),
+		PanicPath(DefaultPanicRoots),
+		ErrCheck(),
+		FloatOrder(),
+	}
+}
+
+func loadFixture(t *testing.T) *Module {
+	t.Helper()
+	m, err := LoadModule(filepath.Join("testdata", "module"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// fixtureMarkers scans the fixture sources for `want:<analyzer>` line
+// markers and returns the expected finding set as "file:line:analyzer".
+func fixtureMarkers(t *testing.T, root string) map[string]bool {
+	t.Helper()
+	want := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			text := sc.Text()
+			i := strings.Index(text, "want:")
+			if i < 0 || !strings.Contains(text[:i], "//") {
+				continue
+			}
+			for _, name := range strings.Fields(text[i+len("want:"):]) {
+				want[fmt.Sprintf("%s:%d:%s", filepath.ToSlash(rel), line, name)] = true
+			}
+		}
+		return sc.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+// TestFixtureFindingsMatchMarkers is the golden test: the analyzers
+// must report exactly the marked (file, line, analyzer) set — nothing
+// missing, nothing extra. The unmarked negative cases (sorted append,
+// recover barrier, handled errors, allow directives) are proven by the
+// "nothing extra" direction.
+func TestFixtureFindingsMatchMarkers(t *testing.T) {
+	m := loadFixture(t)
+	findings := RunAnalyzers(m, fixtureAnalyzers())
+	got := map[string]int{}
+	for _, f := range findings {
+		rel, err := filepath.Rel(m.Dir, f.Pos.Filename)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[fmt.Sprintf("%s:%d:%s", filepath.ToSlash(rel), f.Pos.Line, f.Analyzer)]++
+	}
+	want := fixtureMarkers(t, m.Dir)
+	if len(want) == 0 {
+		t.Fatal("no want: markers found in fixtures")
+	}
+	for k := range want {
+		if got[k] == 0 {
+			t.Errorf("missing finding %s", k)
+		}
+	}
+	for k, n := range got {
+		if !want[k] {
+			t.Errorf("unexpected finding %s (x%d)", k, n)
+		}
+	}
+}
+
+// TestSeededViolationsFailDriver proves cmd/rtlint's non-zero exit
+// contract: the fixture's seeded violations are error severity, so
+// HasErrors — the driver's exit-code predicate — is true.
+func TestSeededViolationsFailDriver(t *testing.T) {
+	m := loadFixture(t)
+	findings := RunAnalyzers(m, fixtureAnalyzers())
+	if !HasErrors(findings) {
+		t.Fatal("seeded fixture violations must produce error-severity findings")
+	}
+	var sawDeterminism bool
+	for _, f := range findings {
+		if f.Analyzer == "determinism" && strings.Contains(f.Message, "time.Since") {
+			sawDeterminism = true
+		}
+	}
+	if !sawDeterminism {
+		t.Error("seeded time.Since violation not reported")
+	}
+}
+
+// TestAllowDirectiveSuppresses is the negative fixture: every line
+// carrying an rtlint:allow directive (and the line after an own-line
+// directive) yields no finding, while the same constructs without a
+// directive do (checked by the golden test above).
+func TestAllowDirectiveSuppresses(t *testing.T) {
+	m := loadFixture(t)
+	findings := RunAnalyzers(m, fixtureAnalyzers())
+	directiveLines := map[string]bool{}
+	err := filepath.WalkDir(m.Dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			if strings.Contains(line, "rtlint:allow") {
+				directiveLines[fmt.Sprintf("%s:%d", path, i+1)] = true
+				directiveLines[fmt.Sprintf("%s:%d", path, i+2)] = true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(directiveLines) == 0 {
+		t.Fatal("no rtlint:allow directives in fixtures")
+	}
+	for _, f := range findings {
+		if directiveLines[fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line)] {
+			t.Errorf("finding on a directive-suppressed line: %s", f)
+		}
+	}
+}
+
+// TestFindingOrdering checks RunAnalyzers' stable sort contract.
+func TestFindingOrdering(t *testing.T) {
+	m := loadFixture(t)
+	findings := RunAnalyzers(m, fixtureAnalyzers())
+	for i := 1; i < len(findings); i++ {
+		a, b := findings[i-1], findings[i]
+		if a.Pos.Filename > b.Pos.Filename ||
+			(a.Pos.Filename == b.Pos.Filename && a.Pos.Line > b.Pos.Line) {
+			t.Fatalf("findings out of order: %s before %s", a, b)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrCheck returns the analyzer that flags discarded error returns from
+// module-internal calls: calls used as bare statements (including go and
+// defer), and error result positions assigned to the blank identifier.
+// Standard-library calls are exempt — the module controls its own error
+// contracts, and its loaders and executors must surface every failure.
+func ErrCheck() *Analyzer {
+	return &Analyzer{
+		Name: "errcheck",
+		Doc:  "forbid discarded error returns from module-internal calls",
+		Run: func(m *Module, r *Reporter) {
+			for _, pkg := range m.Packages {
+				for _, file := range pkg.Files {
+					checkErrFile(m, pkg, file, r)
+				}
+			}
+		},
+	}
+}
+
+func checkErrFile(m *Module, pkg *Package, file *ast.File, r *Reporter) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			reportDiscardedCall(m, pkg, n.X, "result discarded", r)
+		case *ast.GoStmt:
+			reportDiscardedCall(m, pkg, n.Call, "result discarded by go statement", r)
+		case *ast.DeferStmt:
+			reportDiscardedCall(m, pkg, n.Call, "result discarded by defer", r)
+		case *ast.AssignStmt:
+			checkBlankErrAssign(m, pkg, n, r)
+		}
+		return true
+	})
+}
+
+// reportDiscardedCall flags e when it is a call to a module function
+// whose results include an error.
+func reportDiscardedCall(m *Module, pkg *Package, e ast.Expr, how string, r *Reporter) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := calleeFunc(pkg.Info, call)
+	if !moduleFunc(m, fn) {
+		return
+	}
+	if idx := errResultIndex(fn); idx >= 0 {
+		r.Report(Error, call.Pos(), "%s returns an error; %s", qualifiedName(fn), how)
+	}
+}
+
+// checkBlankErrAssign flags `v, _ := f()` where the blank position is
+// f's error result.
+func checkBlankErrAssign(m *Module, pkg *Package, as *ast.AssignStmt, r *Reporter) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := calleeFunc(pkg.Info, call)
+	if !moduleFunc(m, fn) {
+		return
+	}
+	idx := errResultIndex(fn)
+	if idx < 0 || idx >= len(as.Lhs) {
+		return
+	}
+	if id, ok := as.Lhs[idx].(*ast.Ident); ok && id.Name == "_" {
+		r.Report(Error, as.Lhs[idx].Pos(), "error result of %s assigned to blank identifier", qualifiedName(fn))
+	}
+}
+
+// moduleFunc reports whether fn is declared inside the analyzed module.
+func moduleFunc(m *Module, fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	p := fn.Pkg().Path()
+	return p == m.Path || strings.HasPrefix(p, m.Path+"/")
+}
+
+// errResultIndex returns the index of fn's error result, or -1.
+func errResultIndex(fn *types.Func) int {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return -1
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if named, ok := res.At(i).Type().(*types.Named); ok &&
+			named.Obj().Pkg() == nil && named.Obj().Name() == "error" {
+			return i
+		}
+	}
+	return -1
+}
+
+// qualifiedName renders fn as pkg.Func or (recv).Method for messages.
+func qualifiedName(fn *types.Func) string {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	if fn.Pkg() != nil {
+		parts := strings.Split(fn.Pkg().Path(), "/")
+		return parts[len(parts)-1] + "." + fn.Name()
+	}
+	return fn.Name()
+}

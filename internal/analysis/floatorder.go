@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatOrder returns the analyzer that flags floating-point accumulation
+// under range-over-map, in every package. Float addition is not
+// associative, so even a commutative-looking `sum += v` produces
+// run-to-run different low bits when the iteration order changes —
+// exactly the class of drift that breaks golden-number tables.
+func FloatOrder() *Analyzer {
+	return &Analyzer{
+		Name: "floatorder",
+		Doc:  "flag float32/float64 accumulation inside range-over-map (order-dependent rounding)",
+		Run: func(m *Module, r *Reporter) {
+			for _, pkg := range m.Packages {
+				for _, file := range pkg.Files {
+					ast.Inspect(file, func(n ast.Node) bool {
+						rng, ok := n.(*ast.RangeStmt)
+						if !ok {
+							return true
+						}
+						checkFloatAccumulation(pkg, rng, r)
+						return true
+					})
+				}
+			}
+		},
+	}
+}
+
+func checkFloatAccumulation(pkg *Package, rng *ast.RangeStmt, r *Reporter) {
+	tv, ok := pkg.Info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		default:
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := pkg.Info.Uses[id]
+			if obj == nil || !declaredOutside(obj, rng) || !isFloat(obj.Type()) {
+				continue
+			}
+			r.Report(Error, as.Pos(),
+				"float accumulation into %s inside range over map is order-dependent; iterate sorted keys instead", id.Name)
+		}
+		return true
+	})
+}

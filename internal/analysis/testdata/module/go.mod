@@ -1,0 +1,3 @@
+module edgeinfer
+
+go 1.22

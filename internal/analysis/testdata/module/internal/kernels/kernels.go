@@ -1,0 +1,77 @@
+// Package kernels is a determinism fixture: the real package of this
+// name is on the restricted-path list, so wall-clock reads, math/rand
+// and map-order leaks are all flagged here. A marker comment naming an
+// analyzer means the line must produce exactly one finding of it.
+package kernels
+
+import (
+	"math/rand" // want:determinism
+	"sort"
+	"time"
+)
+
+// Elapsed reads the wall clock in a restricted package.
+func Elapsed(start time.Time) float64 {
+	return time.Since(start).Seconds() // want:determinism
+}
+
+// Jitter draws from the unseeded global generator.
+func Jitter() float64 { return rand.Float64() }
+
+// Names leaks map iteration order into a slice.
+func Names(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want:determinism
+	}
+	return out
+}
+
+// SortedNames collects then sorts — the sanctioned idiom, no finding.
+func SortedNames(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Join concatenates strings in map order.
+func Join(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want:determinism
+	}
+	return s
+}
+
+// AnyKey keeps an arbitrary iteration's key.
+func AnyKey(m map[string]int) string {
+	var last string
+	for k := range m {
+		last = k // want:determinism
+	}
+	return last
+}
+
+// Sum accumulates floats in map order — floatorder's domain, which
+// determinism leaves alone.
+func Sum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want:floatorder
+	}
+	return sum
+}
+
+// Allowed is suppressed by a trailing directive: no finding.
+func Allowed() int64 {
+	return time.Now().UnixNano() //rtlint:allow determinism -- fixture proves trailing-directive suppression
+}
+
+// AllowedAbove is suppressed by a directive on the preceding line.
+func AllowedAbove() int64 {
+	//rtlint:allow determinism -- fixture proves own-line directive covers the next line
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,47 @@
+// Package util is an errcheck fixture: discarded error returns from
+// module-internal calls are flagged in every discard position; handled
+// errors and standard-library calls are not. It is off the restricted
+// list, so floatorder (which runs everywhere) fires here but
+// determinism does not.
+package util
+
+import "fmt"
+
+// Flush returns an error the callers below are obliged to check.
+func Flush() error { return nil }
+
+// Pair returns a value and an error.
+func Pair() (int, error) { return 1, nil }
+
+// Drop discards errors in every flagged way.
+func Drop() {
+	Flush()        // want:errcheck
+	defer Flush()  // want:errcheck
+	go Flush()     // want:errcheck
+	v, _ := Pair() // want:errcheck
+	_ = v
+	fmt.Println("standard-library calls are exempt")
+}
+
+// Keep handles every error: no findings.
+func Keep() error {
+	if err := Flush(); err != nil {
+		return err
+	}
+	v, err := Pair()
+	if err != nil {
+		return err
+	}
+	_ = v
+	return nil
+}
+
+// Mean accumulates floats under map range outside the restricted list —
+// floatorder still applies everywhere.
+func Mean(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want:floatorder
+	}
+	return total / float64(len(m))
+}

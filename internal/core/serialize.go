@@ -8,9 +8,11 @@ import (
 	"io"
 	"math"
 	"os"
+	"sort"
 
 	"edgeinfer/internal/graph"
 	"edgeinfer/internal/kernels"
+	"edgeinfer/internal/planlint"
 	"edgeinfer/internal/tensor"
 )
 
@@ -71,8 +73,14 @@ type weightRecord struct {
 	Shape [4]int
 }
 
-// Save serializes the engine to a writer.
+// Save serializes the engine to a writer. Before emitting a single byte
+// it runs the static plan-IR verifier (planlint): a plan that fails
+// verification is refused, so no malformed engine ever reaches disk.
 func (e *Engine) Save(w io.Writer) error {
+	if issues := e.VerifyPlan(); planlint.HasErrors(issues) {
+		return fmt.Errorf("core: refusing to serialize %s: plan fails IR verification: %s",
+			e.Key(), firstErrors(issues, 3))
+	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(planMagic); err != nil {
 		return err
@@ -107,14 +115,21 @@ func (e *Engine) Save(w io.Writer) error {
 	if _, err := bw.Write(hb); err != nil {
 		return err
 	}
-	// Weight section.
+	// Weight section. Keys are emitted in sorted order: ranging over the
+	// weight map directly would leak map iteration order into the
+	// serialized bytes, making byte-identical engines differ run to run.
 	var weights []struct {
 		rec weightRecord
 		t   *tensor.Tensor
 	}
 	for _, l := range e.Graph.Layers {
-		for key, t := range l.Weights {
-			if t != nil {
+		keys := make([]string, 0, len(l.Weights))
+		for key := range l.Weights {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			if t := l.Weights[key]; t != nil {
 				weights = append(weights, struct {
 					rec weightRecord
 					t   *tensor.Tensor
@@ -211,32 +226,107 @@ func validateInputShape(s [4]int) error {
 	return nil
 }
 
+// decodedWeight is one weight tensor lifted out of the binary section.
+type decodedWeight struct {
+	rec  weightRecord
+	data []float32
+}
+
+// decodePlan reads the structural sections of a plan stream — magic,
+// header JSON, weight records — enforcing every length/shape bound, but
+// without assembling a graph. Both the strict loader and the static plan
+// verifier build on it.
+func decodePlan(r io.Reader) (*planHeader, []decodedWeight, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(planMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, nil, fmt.Errorf("core: read plan magic: %w", err)
+	}
+	if string(magic) != planMagic {
+		return nil, nil, fmt.Errorf("core: bad plan magic %q", magic)
+	}
+	var hlen uint32
+	if err := binary.Read(br, binary.LittleEndian, &hlen); err != nil {
+		return nil, nil, err
+	}
+	if hlen > maxHeaderBytes {
+		return nil, nil, fmt.Errorf("core: plan header %d bytes exceeds limit", hlen)
+	}
+	hb, err := readBounded(br, int64(hlen))
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: read plan header: %w", err)
+	}
+	var h planHeader
+	if err := json.Unmarshal(hb, &h); err != nil {
+		return nil, nil, fmt.Errorf("core: unmarshal plan header: %w", err)
+	}
+	var wcount uint32
+	if err := binary.Read(br, binary.LittleEndian, &wcount); err != nil {
+		return nil, nil, err
+	}
+	var weights []decodedWeight
+	for i := uint32(0); i < wcount; i++ {
+		var rlen uint32
+		if err := binary.Read(br, binary.LittleEndian, &rlen); err != nil {
+			return nil, nil, err
+		}
+		if rlen > maxRecordBytes {
+			return nil, nil, fmt.Errorf("core: weight record %d bytes exceeds limit", rlen)
+		}
+		rb, err := readBounded(br, int64(rlen))
+		if err != nil {
+			return nil, nil, err
+		}
+		var rec weightRecord
+		if err := json.Unmarshal(rb, &rec); err != nil {
+			return nil, nil, err
+		}
+		elems := int64(1)
+		for _, d := range rec.Shape {
+			if d < 1 || int64(d) > maxTensorElems {
+				return nil, nil, fmt.Errorf("core: weight shape %v invalid", rec.Shape)
+			}
+			elems *= int64(d)
+			if elems > maxTensorElems {
+				return nil, nil, fmt.Errorf("core: weight shape %v too large", rec.Shape)
+			}
+		}
+		data, err := readFloat32s(br, elems)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: read weight %s/%s: %w", rec.Layer, rec.Key, err)
+		}
+		weights = append(weights, decodedWeight{rec: rec, data: data})
+	}
+	return &h, weights, nil
+}
+
+// graphFromHeader assembles the optimized graph from a decoded header
+// through the error-returning graph API — a malformed topology surfaces
+// as an error, never a panic.
+func graphFromHeader(h *planHeader) (*graph.Graph, error) {
+	g := graph.New(h.ModelName, h.InputShape)
+	g.Framework, g.Task = h.Framework, h.Task
+	for _, pl := range h.Layers {
+		err := g.AddLayer(&graph.Layer{
+			Name: pl.Name, Op: pl.Op, Inputs: pl.Inputs, Conv: pl.Conv, Pool: pl.Pool,
+			OutUnits: pl.OutUnits, Alpha: pl.Alpha, LRNSize: pl.LRNSize,
+			LRNBeta: pl.LRNBeta, LRNK: pl.LRNK,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: plan layer %q: %w", pl.Name, err)
+		}
+	}
+	g.Outputs = h.Outputs
+	return g, nil
+}
+
 // Load deserializes an engine plan. Plan files are untrusted input:
 // truncated, bit-flipped or hostile plans return an error — never a
 // panic, and never an allocation driven by an unvalidated length field.
 func Load(r io.Reader) (*Engine, error) {
-	br := bufio.NewReader(r)
-	magic := make([]byte, len(planMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("core: read plan magic: %w", err)
-	}
-	if string(magic) != planMagic {
-		return nil, fmt.Errorf("core: bad plan magic %q", magic)
-	}
-	var hlen uint32
-	if err := binary.Read(br, binary.LittleEndian, &hlen); err != nil {
-		return nil, err
-	}
-	if hlen > maxHeaderBytes {
-		return nil, fmt.Errorf("core: plan header %d bytes exceeds limit", hlen)
-	}
-	hb, err := readBounded(br, int64(hlen))
+	h, weights, err := decodePlan(r)
 	if err != nil {
-		return nil, fmt.Errorf("core: read plan header: %w", err)
-	}
-	var h planHeader
-	if err := json.Unmarshal(hb, &h); err != nil {
-		return nil, fmt.Errorf("core: unmarshal plan header: %w", err)
+		return nil, err
 	}
 	if err := validateInputShape(h.InputShape); err != nil {
 		return nil, err
@@ -244,58 +334,19 @@ func Load(r io.Reader) (*Engine, error) {
 	if err := validatePlanLayers(h.Layers); err != nil {
 		return nil, err
 	}
-	g := graph.New(h.ModelName, h.InputShape)
-	g.Framework, g.Task = h.Framework, h.Task
-	for _, pl := range h.Layers {
-		g.Add(&graph.Layer{
-			Name: pl.Name, Op: pl.Op, Inputs: pl.Inputs, Conv: pl.Conv, Pool: pl.Pool,
-			OutUnits: pl.OutUnits, Alpha: pl.Alpha, LRNSize: pl.LRNSize,
-			LRNBeta: pl.LRNBeta, LRNK: pl.LRNK,
-		})
-	}
-	g.Outputs = h.Outputs
-	// Weight section (before Finalize so BN shape checks see weights).
-	var wcount uint32
-	if err := binary.Read(br, binary.LittleEndian, &wcount); err != nil {
+	g, err := graphFromHeader(h)
+	if err != nil {
 		return nil, err
 	}
-	for i := uint32(0); i < wcount; i++ {
-		var rlen uint32
-		if err := binary.Read(br, binary.LittleEndian, &rlen); err != nil {
-			return nil, err
-		}
-		if rlen > maxRecordBytes {
-			return nil, fmt.Errorf("core: weight record %d bytes exceeds limit", rlen)
-		}
-		rb, err := readBounded(br, int64(rlen))
-		if err != nil {
-			return nil, err
-		}
-		var rec weightRecord
-		if err := json.Unmarshal(rb, &rec); err != nil {
-			return nil, err
-		}
-		elems := int64(1)
-		for _, d := range rec.Shape {
-			if d < 1 || int64(d) > maxTensorElems {
-				return nil, fmt.Errorf("core: weight shape %v invalid", rec.Shape)
-			}
-			elems *= int64(d)
-			if elems > maxTensorElems {
-				return nil, fmt.Errorf("core: weight shape %v too large", rec.Shape)
-			}
-		}
-		l := g.Layer(rec.Layer)
+	// Weights are attached before Finalize so BN shape checks see them.
+	for _, w := range weights {
+		l := g.Layer(w.rec.Layer)
 		if l == nil {
-			return nil, fmt.Errorf("core: weight for unknown layer %q", rec.Layer)
+			return nil, fmt.Errorf("core: weight for unknown layer %q", w.rec.Layer)
 		}
-		data, err := readFloat32s(br, elems)
-		if err != nil {
-			return nil, fmt.Errorf("core: read weight %s/%s: %w", rec.Layer, rec.Key, err)
-		}
-		l.Weights[rec.Key] = &tensor.Tensor{
-			N: rec.Shape[0], C: rec.Shape[1], H: rec.Shape[2], W: rec.Shape[3],
-			Data: data,
+		l.Weights[w.rec.Key] = &tensor.Tensor{
+			N: w.rec.Shape[0], C: w.rec.Shape[1], H: w.rec.Shape[2], W: w.rec.Shape[3],
+			Data: w.data,
 		}
 	}
 	if err := g.Finalize(); err != nil {

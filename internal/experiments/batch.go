@@ -23,18 +23,18 @@ type BatchRow struct {
 }
 
 // BatchSweep times batched engines of a model on NX at the latency clock.
-func (l *Lab) BatchSweep(model string, batches []int) []BatchRow {
+func (l *Lab) BatchSweep(model string, batches []int) ([]BatchRow, error) {
 	dev := latencyDevice("NX")
 	var out []BatchRow
 	var base float64
 	for _, b := range batches {
 		g, err := models.BuildBatched(model, b)
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		e, err := core.Build(g, core.DefaultConfig(platformSpec("NX"), 1))
 		if err != nil {
-			panic(err)
+			return nil, fmt.Errorf("experiments: build %s batch %d: %w", model, b, err)
 		}
 		lat := e.Run(core.RunConfig{Device: dev}).LatencySec
 		perFrame := lat / float64(b)
@@ -49,20 +49,24 @@ func (l *Lab) BatchSweep(model string, batches []int) []BatchRow {
 			SpeedupVsB1: base / perFrame,
 		})
 	}
-	return out
+	return out, nil
 }
 
 // RenderBatchSweep formats the batch extension table.
-func (l *Lab) RenderBatchSweep() string {
+func (l *Lab) RenderBatchSweep() (string, error) {
 	t := &table{
 		title:  "Extension: batch sweep (resnet18 and googlenet on NX)",
 		header: []string{"NN Model", "Batch", "Latency (ms)", "ms/frame", "FPS", "Throughput vs batch 1"},
 	}
 	for _, model := range []string{"resnet18", "googlenet"} {
-		for _, r := range l.BatchSweep(model, []int{1, 2, 4, 8}) {
+		rows, err := l.BatchSweep(model, []int{1, 2, 4, 8})
+		if err != nil {
+			return "", err
+		}
+		for _, r := range rows {
 			t.add(r.Model, fmt.Sprintf("%d", r.Batch), f2(r.LatencyMS), f2(r.PerFrameMS),
 				f1(r.Throughput), f2(r.SpeedupVsB1)+"x")
 		}
 	}
-	return t.String()
+	return t.String(), nil
 }

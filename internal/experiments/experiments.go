@@ -92,21 +92,32 @@ func (l *Lab) engine(model, platform string, build int) *core.Engine {
 	return e
 }
 
-// proxyEngine builds (or returns cached) a numeric proxy engine.
-func (l *Lab) proxyEngine(model, platform string, build int) *core.Engine {
+// proxyEngineE builds (or returns cached) a numeric proxy engine,
+// surfacing build failures as errors.
+func (l *Lab) proxyEngineE(model, platform string, build int) (*core.Engine, error) {
 	key := fmt.Sprintf("proxy/%s/%s/%d", model, platform, build)
 	if e, ok := l.engines[key]; ok {
-		return e
+		return e, nil
 	}
 	g, err := models.BuildProxy(model, models.DefaultProxyOptions())
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
 	e, err := core.Build(g, core.DefaultConfig(platformSpec(platform), build))
 	if err != nil {
-		panic(err)
+		return nil, fmt.Errorf("experiments: build %s: %w", key, err)
 	}
 	l.engines[key] = e
+	return e, nil
+}
+
+// proxyEngine is proxyEngineE for the paper-table generators, whose
+// model set is static and trusted.
+func (l *Lab) proxyEngine(model, platform string, build int) *core.Engine {
+	e, err := l.proxyEngineE(model, platform, build)
+	if err != nil {
+		panic(err)
+	}
 	return e
 }
 
@@ -128,42 +139,63 @@ func (l *Lab) advSet() []dataset.AdversarialSample {
 	return l.adv
 }
 
-// classify runs an engine over images, caching predictions under key.
-func (l *Lab) classify(key string, e *core.Engine, images []*tensor.Tensor) []int {
+// classifyE runs an engine over images, caching predictions under key
+// and surfacing inference failures as errors.
+func (l *Lab) classifyE(key string, e *core.Engine, images []*tensor.Tensor) ([]int, error) {
 	if p, ok := l.preds[key]; ok {
-		return p
+		return p, nil
 	}
 	out := make([]int, len(images))
 	for i, img := range images {
 		o, err := e.Infer(img)
 		if err != nil {
-			panic(err)
+			return nil, fmt.Errorf("experiments: %s: image %d: %w", key, i, err)
 		}
 		out[i] = o[0].Argmax()
 	}
 	l.preds[key] = out
-	return out
+	return out, nil
 }
 
-// classifyUnopt runs the un-optimized proxy over images.
-func (l *Lab) classifyUnopt(key, model string, images []*tensor.Tensor) []int {
+// classify is classifyE for the paper-table generators, whose static
+// model/dataset combinations cannot fail inference.
+func (l *Lab) classify(key string, e *core.Engine, images []*tensor.Tensor) []int {
+	p, err := l.classifyE(key, e, images)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// classifyUnoptE runs the un-optimized proxy over images, surfacing
+// build and inference failures as errors.
+func (l *Lab) classifyUnoptE(key, model string, images []*tensor.Tensor) ([]int, error) {
 	if p, ok := l.preds[key]; ok {
-		return p
+		return p, nil
 	}
 	g, err := models.BuildProxy(model, models.DefaultProxyOptions())
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
 	out := make([]int, len(images))
 	for i, img := range images {
 		o, err := core.UnoptimizedInfer(g, img)
 		if err != nil {
-			panic(err)
+			return nil, fmt.Errorf("experiments: %s: image %d: %w", key, i, err)
 		}
 		out[i] = o[0].Argmax()
 	}
 	l.preds[key] = out
-	return out
+	return out, nil
+}
+
+// classifyUnopt is classifyUnoptE for the paper-table generators.
+func (l *Lab) classifyUnopt(key, model string, images []*tensor.Tensor) []int {
+	p, err := l.classifyUnoptE(key, model, images)
+	if err != nil {
+		panic(err)
+	}
+	return p
 }
 
 // table is a minimal text-table renderer for paper-style output.

@@ -272,7 +272,10 @@ func TestRenderersNonEmpty(t *testing.T) {
 
 func TestPrecisionStudyExtension(t *testing.T) {
 	lab := NewLab(tinyOpts())
-	rows := lab.PrecisionStudy()
+	rows, err := lab.PrecisionStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 9 {
 		t.Fatalf("%d rows, want 3 models x 3 precisions", len(rows))
 	}
@@ -302,7 +305,10 @@ func TestPrecisionStudyExtension(t *testing.T) {
 
 func TestBatchSweepAmortizes(t *testing.T) {
 	lab := NewLab(tinyOpts())
-	rows := lab.BatchSweep("resnet18", []int{1, 4})
+	rows, err := lab.BatchSweep("resnet18", []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 2 {
 		t.Fatalf("%d rows", len(rows))
 	}
@@ -433,8 +439,8 @@ func TestLatencyRenderersNonEmpty(t *testing.T) {
 		"t8": lab.RenderTable8, "t9": lab.RenderTable9, "t10": lab.RenderTable10,
 		"t11": lab.RenderTable11, "t12": lab.RenderTable12, "t13": lab.RenderTable13,
 		"t17": lab.RenderTable17, "t18": lab.RenderTable18,
-		"batch": lab.RenderBatchSweep, "energy": lab.RenderEnergyStudy,
-		"clock": lab.RenderClockSweep, "thermal": lab.RenderThermalStudy,
+		"energy": lab.RenderEnergyStudy,
+		"clock":  lab.RenderClockSweep, "thermal": lab.RenderThermalStudy,
 	}
 	for name, fn := range renders {
 		out := fn()
@@ -445,6 +451,17 @@ func TestLatencyRenderersNonEmpty(t *testing.T) {
 			t.Errorf("%s has formatting errors", name)
 		}
 	}
+	// Error-aware renderers (the extension studies).
+	batch, err := lab.RenderBatchSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) < 80 {
+		t.Errorf("batch render too short: %q", batch)
+	}
+	if strings.Contains(batch, "%!") {
+		t.Errorf("batch render has formatting errors")
+	}
 }
 
 func TestNumericRenderersNonEmpty(t *testing.T) {
@@ -452,10 +469,17 @@ func TestNumericRenderersNonEmpty(t *testing.T) {
 	for name, fn := range map[string]func() string{
 		"t3": lab.RenderTable3, "t4": lab.RenderTable4,
 		"t5": lab.RenderTable5, "t6": lab.RenderTable6,
-		"precision": lab.RenderPrecisionStudy, "detection": lab.RenderDetectionStudy,
+		"detection": lab.RenderDetectionStudy,
 	} {
 		if len(fn()) < 80 {
 			t.Errorf("%s render too short", name)
 		}
+	}
+	precision, err := lab.RenderPrecisionStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(precision) < 80 {
+		t.Errorf("precision render too short")
 	}
 }

@@ -27,7 +27,7 @@ type PrecisionRow struct {
 }
 
 // PrecisionStudy runs the three classifiers at the three precisions.
-func (l *Lab) PrecisionStudy() []PrecisionRow {
+func (l *Lab) PrecisionStudy() ([]PrecisionRow, error) {
 	set := l.benignSet()
 	images := make([]*tensor.Tensor, len(set))
 	labels := make([]int, len(set))
@@ -43,9 +43,12 @@ func (l *Lab) PrecisionStudy() []PrecisionRow {
 	for _, m := range classifierModels {
 		proxy, err := models.BuildProxy(m, models.DefaultProxyOptions())
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
-		full := mustModel(m)
+		full, err := models.Build(m)
+		if err != nil {
+			return nil, err
+		}
 		var fp32ms float64
 		for _, prec := range []tensor.Precision{tensor.FP32, tensor.FP16, tensor.INT8} {
 			cfg := core.DefaultConfig(platformSpec("NX"), 1)
@@ -55,15 +58,18 @@ func (l *Lab) PrecisionStudy() []PrecisionRow {
 			}
 			pe, err := core.Build(proxy, cfg)
 			if err != nil {
-				panic(err)
+				return nil, fmt.Errorf("experiments: build %s proxy at %s: %w", m, prec, err)
 			}
 			key := fmt.Sprintf("prec/%s/%s", m, prec)
-			pred := l.classify(key, pe, images)
+			pred, err := l.classifyE(key, pe, images)
+			if err != nil {
+				return nil, err
+			}
 			fullCfg := core.DefaultConfig(platformSpec("NX"), 1)
 			fullCfg.Precision = prec
 			fe, err := core.Build(full, fullCfg)
 			if err != nil {
-				panic(err)
+				return nil, fmt.Errorf("experiments: build %s at %s: %w", m, prec, err)
 			}
 			lat := fe.Run(core.RunConfig{Device: dev}).LatencySec * 1e3
 			if prec == tensor.FP32 {
@@ -79,18 +85,22 @@ func (l *Lab) PrecisionStudy() []PrecisionRow {
 			})
 		}
 	}
-	return out
+	return out, nil
 }
 
 // RenderPrecisionStudy formats the extension table.
-func (l *Lab) RenderPrecisionStudy() string {
+func (l *Lab) RenderPrecisionStudy() (string, error) {
+	rows, err := l.PrecisionStudy()
+	if err != nil {
+		return "", err
+	}
 	t := &table{
 		title:  "Extension: precision study (FP32/FP16/INT8 engines on NX, percentile-calibrated INT8)",
 		header: []string{"NN Model", "Precision", "Top-1 Err(%)", "Latency (ms)", "Weights (MB)", "Engine (MB)", "Speedup vs FP32"},
 	}
-	for _, r := range l.PrecisionStudy() {
+	for _, r := range rows {
 		t.add(r.Model, r.Precision.String(), f2(r.ErrorPct), f2(r.LatencyMS),
 			f2(r.WeightMB), f2(r.EngineMB), f2(r.FPSGainVs32)+"x")
 	}
-	return t.String()
+	return t.String(), nil
 }

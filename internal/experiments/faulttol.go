@@ -48,7 +48,7 @@ type FaultTolRow struct {
 // FaultTolerance sweeps the scenario base rate for one model, serving
 // `requests` benign samples per (platform, rate) point through a fresh
 // executor. Everything is seeded: same arguments, same table.
-func (l *Lab) FaultTolerance(model string, rates []float64, requests int) []FaultTolRow {
+func (l *Lab) FaultTolerance(model string, rates []float64, requests int) ([]FaultTolRow, error) {
 	set := l.benignSet()
 	if requests > len(set) {
 		requests = len(set)
@@ -61,31 +61,42 @@ func (l *Lab) FaultTolerance(model string, rates []float64, requests int) []Faul
 	var out []FaultTolRow
 	for _, platform := range faultTolPlatforms {
 		dev := latencyDevice(platform)
-		unoptPred := l.classifyUnopt(fmt.Sprintf("ft/%s/unopt/%d", model, requests), model, images)
+		unoptPred, err := l.classifyUnoptE(fmt.Sprintf("ft/%s/unopt/%d", model, requests), model, images)
+		if err != nil {
+			return nil, err
+		}
 		g, err := models.BuildProxy(model, models.DefaultProxyOptions())
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		unoptMs := core.UnoptimizedRun(g, dev) * 1e3
 		for _, rate := range rates {
 			inj := faults.Scenario(fmt.Sprintf("faultbench/%s/%.3f", model, rate), rate).New(platform)
+			tuned, err := l.proxyEngineE(model, platform, 1)
+			if err != nil {
+				return nil, err
+			}
+			standby, err := l.proxyEngineE(model, platform, 2) // standby build
+			if err != nil {
+				return nil, err
+			}
 			ex, err := serve.New(serve.Config{
-				Engine:   l.proxyEngine(model, platform, 1),
-				LowBatch: l.proxyEngine(model, platform, 2), // standby build
+				Engine:   tuned,
+				LowBatch: standby,
 				Fallback: g,
 				Device:   dev,
 				Injector: inj,
 				Seed:     "faultbench",
 			})
 			if err != nil {
-				panic(err)
+				return nil, err
 			}
 			preds := make([]int, requests)
 			lats := make([]float64, requests)
 			for i, img := range images {
 				res, err := ex.Do(img, i)
 				if err != nil {
-					panic(err)
+					return nil, fmt.Errorf("experiments: fault sweep %s rate %.3f request %d: %w", platform, rate, i, err)
 				}
 				preds[i] = res.Outputs[0].Argmax()
 				lats[i] = res.LatencySec
@@ -110,29 +121,33 @@ func (l *Lab) FaultTolerance(model string, rates []float64, requests int) []Faul
 			})
 		}
 	}
-	return out
+	return out, nil
 }
 
 // RenderFaultTolerance formats the default sweep: resnet18 over fault
 // rates 0 → 1 on both platforms (cmd/faultbench's default table).
-func (l *Lab) RenderFaultTolerance() string {
+func (l *Lab) RenderFaultTolerance() (string, error) {
 	return l.RenderFaultToleranceFor("resnet18", []float64{0, 0.01, 0.05, 0.2, 0.5, 1.0}, 100)
 }
 
 // RenderFaultToleranceFor formats a parameterized sweep.
-func (l *Lab) RenderFaultToleranceFor(model string, rates []float64, requests int) string {
+func (l *Lab) RenderFaultToleranceFor(model string, rates []float64, requests int) (string, error) {
 	t := &table{
 		title: fmt.Sprintf("Fault tolerance: %s served through the degradation chain (%d requests/point, proxy-scale latency)", model, requests),
 		header: []string{"Platform", "FaultRate", "Err(%) served", "Err(%) unopt",
 			"p50(ms)", "p99(ms)", "unopt(ms)", "tuned%", "standby%", "fp32%", "faults", "retries", "trips"},
 	}
-	for _, r := range l.FaultTolerance(model, rates, requests) {
+	rows, err := l.FaultTolerance(model, rates, requests)
+	if err != nil {
+		return "", err
+	}
+	for _, r := range rows {
 		t.add(r.Platform, f2(r.Rate), f2(r.TRTErr), f2(r.UnoptErr),
 			f2(r.P50Ms), f2(r.P99Ms), f2(r.UnoptMs),
 			f1(r.TunedPct), f1(r.StandbyPct), f1(r.FP32Pct),
 			fmt.Sprintf("%d", r.Faults), fmt.Sprintf("%d", r.Retries), fmt.Sprintf("%d", r.BreakerTrips))
 	}
-	return t.String()
+	return t.String(), nil
 }
 
 // ThrottleRow is one (platform, severity) point of the DVFS-throttling
@@ -152,7 +167,7 @@ type ThrottleRow struct {
 // ThrottleSweep measures timed (full-scale) engine latency under
 // increasingly severe clock-drop faults: drop probability is fixed at
 // 10% per kernel launch, severity is the clock fraction dropped to.
-func (l *Lab) ThrottleSweep(model string, fracs []float64, requests int) []ThrottleRow {
+func (l *Lab) ThrottleSweep(model string, fracs []float64, requests int) ([]ThrottleRow, error) {
 	var out []ThrottleRow
 	for _, platform := range faultTolPlatforms {
 		dev := latencyDevice(platform)
@@ -171,9 +186,11 @@ func (l *Lab) ThrottleSweep(model string, fracs []float64, requests int) []Throt
 			inj := plan.New(platform)
 			lats := make([]float64, requests)
 			for i := range lats {
+				// Clock-only plans should never fail a run; report it
+				// rather than crash if a future fault kind changes that.
 				res, err := eng.RunFaulty(core.RunConfig{Device: dev, RunIndex: i}, inj)
 				if err != nil {
-					panic(err) // clock-only plans cannot fail a run
+					return nil, fmt.Errorf("experiments: throttle sweep %s frac %.2f run %d: %w", platform, frac, i, err)
 				}
 				lats[i] = res.LatencySec
 			}
@@ -186,20 +203,24 @@ func (l *Lab) ThrottleSweep(model string, fracs []float64, requests int) []Throt
 			})
 		}
 	}
-	return out
+	return out, nil
 }
 
 // RenderThrottleSweep formats the default DVFS-severity sweep for
 // resnet18 (full-scale timing).
-func (l *Lab) RenderThrottleSweep() string {
+func (l *Lab) RenderThrottleSweep() (string, error) {
 	t := &table{
 		title:  "DVFS throttling: resnet18 latency under clock-drop faults (10% of launches drop to DropFrac, governor ramps back at 3%/launch)",
 		header: []string{"Platform", "DropFrac", "p50(ms)", "p99(ms)", "nominal p50(ms)", "drops"},
 	}
-	for _, r := range l.ThrottleSweep("resnet18", []float64{0.9, 0.75, 0.5, 0.25}, 200) {
+	rows, err := l.ThrottleSweep("resnet18", []float64{0.9, 0.75, 0.5, 0.25}, 200)
+	if err != nil {
+		return "", err
+	}
+	for _, r := range rows {
 		t.add(r.Platform, f2(r.DropFrac), f2(r.P50Ms), f2(r.P99Ms), f2(r.NominalMs), fmt.Sprintf("%d", r.Drops))
 	}
-	return t.String()
+	return t.String(), nil
 }
 
 // percentile returns the p-quantile (0..1) of xs by nearest rank.

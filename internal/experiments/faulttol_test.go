@@ -4,7 +4,10 @@ import "testing"
 
 func TestFaultToleranceEndpoints(t *testing.T) {
 	l := NewLab(Default())
-	rows := l.FaultTolerance("resnet18", []float64{0, 1}, 12)
+	rows, err := l.FaultTolerance("resnet18", []float64{0, 1}, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 4 { // 2 platforms x 2 rates
 		t.Fatalf("got %d rows", len(rows))
 	}
@@ -36,7 +39,10 @@ func TestFaultToleranceEndpoints(t *testing.T) {
 
 func TestThrottleSweepStretchesLatency(t *testing.T) {
 	l := NewLab(Default())
-	rows := l.ThrottleSweep("resnet18", []float64{0.5}, 40)
+	rows, err := l.ThrottleSweep("resnet18", []float64{0.5}, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, r := range rows {
 		if r.P50Ms <= r.NominalMs {
 			t.Fatalf("%s: throttled p50 %.2fms not above nominal %.2fms", r.Platform, r.P50Ms, r.NominalMs)
@@ -48,8 +54,11 @@ func TestThrottleSweepStretchesLatency(t *testing.T) {
 }
 
 func TestFaultToleranceDeterministic(t *testing.T) {
-	a := NewLab(Default()).FaultTolerance("resnet18", []float64{0.2}, 10)
-	b := NewLab(Default()).FaultTolerance("resnet18", []float64{0.2}, 10)
+	a, errA := NewLab(Default()).FaultTolerance("resnet18", []float64{0.2}, 10)
+	b, errB := NewLab(Default()).FaultTolerance("resnet18", []float64{0.2}, 10)
+	if errA != nil || errB != nil {
+		t.Fatal(errA, errB)
+	}
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatalf("row %d differs across identical runs:\n%+v\n%+v", i, a[i], b[i])

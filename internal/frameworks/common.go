@@ -76,11 +76,14 @@ func fromRecs(h header, rs []rec) (*graph.Graph, error) {
 				return nil, fmt.Errorf("frameworks: layer %q references unknown input %q", r.Name, in)
 			}
 		}
-		g.Add(&graph.Layer{
+		err := g.AddLayer(&graph.Layer{
 			Name: r.Name, Op: r.Op, Inputs: r.Inputs, Conv: r.Conv, Pool: r.Pool,
 			OutUnits: r.OutUnits, Alpha: r.Alpha, LRNSize: r.LRNSize,
 			LRNBeta: r.LRNBeta, LRNK: r.LRNK,
 		})
+		if err != nil {
+			return nil, fmt.Errorf("frameworks: layer %q: %w", r.Name, err)
+		}
 		seen[r.Name] = true
 	}
 	g.Outputs = h.Outputs

@@ -138,11 +138,23 @@ func (b *Builder) ConcatJoin(name string, inputs ...string) *Builder {
 	return b
 }
 
-// Done finalizes and returns the graph, panicking on structural errors —
-// model definitions are static and a failure is a programming bug.
-func (b *Builder) Done() *Graph {
+// Finish finalizes and returns the graph, reporting structural errors.
+// Builders driven by external input (generated architectures, imported
+// topologies) must use Finish so a bad graph surfaces as an error.
+func (b *Builder) Finish() (*Graph, error) {
 	if err := b.G.Finalize(); err != nil {
-		panic(err)
+		return nil, err
 	}
-	return b.G
+	return b.G, nil
+}
+
+// Done is Finish for static model definitions, where a structural failure
+// is a programming bug and panicking at init/build time is the right
+// behaviour. It is unreachable from the untrusted plan-loading path.
+func (b *Builder) Done() *Graph {
+	g, err := b.Finish()
+	if err != nil {
+		panic(err) //rtlint:allow panicpath -- static model definitions only; external input uses Finish
+	}
+	return g
 }

@@ -107,21 +107,23 @@ func New(name string, inputShape [4]int) *Graph {
 	return g
 }
 
-// Add appends a layer. It panics on duplicate names or missing inputs —
-// model construction errors are programming bugs, not runtime conditions.
-func (g *Graph) Add(l *Layer) *Layer {
+// AddLayer appends a layer, validating the topology invariants every
+// other method relies on. It is the entry point for layers that originate
+// outside the process — deserialized engine plans, framework imports —
+// where a malformed layer must surface as an error, never a panic.
+func (g *Graph) AddLayer(l *Layer) error {
 	if l.Name == "" {
-		panic("graph: layer with empty name")
+		return fmt.Errorf("graph: layer with empty name")
 	}
 	if _, dup := g.byName[l.Name]; dup {
-		panic(fmt.Sprintf("graph: duplicate layer %q", l.Name))
+		return fmt.Errorf("graph: duplicate layer %q", l.Name)
 	}
 	if l.Op != OpInput && len(l.Inputs) == 0 {
-		panic(fmt.Sprintf("graph: layer %q has no inputs", l.Name))
+		return fmt.Errorf("graph: layer %q has no inputs", l.Name)
 	}
 	for _, in := range l.Inputs {
 		if _, ok := g.byName[in]; !ok {
-			panic(fmt.Sprintf("graph: layer %q references unknown input %q", l.Name, in))
+			return fmt.Errorf("graph: layer %q references unknown input %q", l.Name, in)
 		}
 	}
 	if l.Weights == nil {
@@ -130,6 +132,17 @@ func (g *Graph) Add(l *Layer) *Layer {
 	g.Layers = append(g.Layers, l)
 	g.byName[l.Name] = l
 	g.finalized = false
+	return nil
+}
+
+// Add appends a layer. It panics on duplicate names or missing inputs —
+// model construction errors are programming bugs, not runtime conditions.
+// Untrusted callers (plan loaders, importers) must use AddLayer instead;
+// Add is only reachable from static model definitions.
+func (g *Graph) Add(l *Layer) *Layer {
+	if err := g.AddLayer(l); err != nil {
+		panic(err) //rtlint:allow panicpath -- static model definitions only; plan loaders use AddLayer
+	}
 	return l
 }
 
@@ -258,19 +271,20 @@ func (g *Graph) Clone() *Graph {
 	return ng
 }
 
-// Remove deletes the named layer, rewiring its consumers to its (single)
-// input. It is used by optimization passes for pass-through ops and
-// panics if the layer has multiple inputs or is an input layer.
-func (g *Graph) Remove(name string) {
+// RemoveLayer deletes the named layer, rewiring its consumers to its
+// (single) input. Removing the input layer or a multi-input layer is a
+// structural error; graphs assembled from untrusted plans go through this
+// error-returning path rather than Remove.
+func (g *Graph) RemoveLayer(name string) error {
 	l := g.byName[name]
 	if l == nil {
-		return
+		return nil
 	}
 	if l.Op == OpInput {
-		panic("graph: cannot remove the input layer")
+		return fmt.Errorf("graph: cannot remove the input layer")
 	}
 	if len(l.Inputs) != 1 {
-		panic(fmt.Sprintf("graph: cannot splice out multi-input layer %q", name))
+		return fmt.Errorf("graph: cannot splice out multi-input layer %q", name)
 	}
 	parent := l.Inputs[0]
 	for _, other := range g.Layers {
@@ -295,4 +309,13 @@ func (g *Graph) Remove(name string) {
 	g.Layers = append(g.Layers[:idx], g.Layers[idx+1:]...)
 	delete(g.byName, name)
 	g.finalized = false
+	return nil
+}
+
+// Remove is RemoveLayer for optimization passes over graphs the caller
+// built itself, where a splice failure is a programming bug.
+func (g *Graph) Remove(name string) {
+	if err := g.RemoveLayer(name); err != nil {
+		panic(err) //rtlint:allow panicpath -- pass-authored graphs only; plan paths use RemoveLayer
+	}
 }
