@@ -1,15 +1,19 @@
 #!/bin/sh
 # CI gate: the tier-1 checks (build + test) plus vet, the race detector
-# (the serve/faults packages are exercised concurrently), a short fuzz
-# smoke over the untrusted plan loader, and the rtlint static-analysis
-# suite — source analyzers over the module, then static plan-IR
-# verification of every classifier engine the results are generated
-# from. Run from the repo root.
+# (the serve/faults packages are exercised concurrently), short fuzz
+# smokes over the two untrusted deserializers (engine plans and timing
+# caches), the shared-timing-cache fleet-convergence audit (warm rebuilds
+# must be byte-identical), and the rtlint static-analysis suite — source
+# analyzers over the module, then static plan-IR verification of every
+# classifier engine the results are generated from. Run from the repo
+# root.
 set -eux
 
 go vet ./...
 go build ./...
 go test -race ./...
-go test -run='^$' -fuzz=FuzzLoad -fuzztime=10s ./internal/core
+go test -run='^$' -fuzz='^FuzzLoad$' -fuzztime=10s ./internal/core
+go test -run='^$' -fuzz='^FuzzLoadTimingCache$' -fuzztime=5s ./internal/core
+go run ./cmd/fleetcheck -model resnet18 -sharedCache
 go run ./cmd/rtlint ./...
 go run ./cmd/rtlint -plancheck

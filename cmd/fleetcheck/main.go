@@ -11,9 +11,11 @@
 //
 //	fleetcheck -model resnet18               # 3 engines per platform
 //	fleetcheck -model inceptionv4 -engines 5
+//	fleetcheck -model resnet18 -sharedCache  # timing-cache convergence audit
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +23,7 @@ import (
 	"edgeinfer/internal/core"
 	"edgeinfer/internal/dataset"
 	"edgeinfer/internal/gpusim"
+	"edgeinfer/internal/graph"
 	"edgeinfer/internal/metrics"
 	"edgeinfer/internal/models"
 )
@@ -30,11 +33,17 @@ func main() {
 	engines := flag.Int("engines", 3, "engines to build per platform")
 	runs := flag.Int("runs", 10, "latency runs per engine")
 	images := flag.Int("images", 500, "evidence images for output comparison (proxy models)")
+	shared := flag.Bool("sharedCache", false, "audit the remedy instead of the hazard: units share a timing cache and must converge to byte-identical engines")
 	flag.Parse()
 
 	g, err := models.Build(*model)
 	if err != nil {
 		fail(err)
+	}
+
+	if *shared {
+		sharedCacheAudit(g, *model, *engines)
+		return
 	}
 	fmt.Printf("fleetcheck: %s, %d engines per platform\n\n", *model, *engines)
 
@@ -124,6 +133,67 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("VERDICT: fleet consistent at this sample size (hazards remain possible; see paper Tables V-VI).")
+}
+
+// sharedCacheAudit builds N units per platform against one shared timing
+// cache: unit #1 is the cold build that pays the tactic-timing cost and
+// populates the cache; units #2..N must come out warm, tactic-equal to
+// unit #1 and byte-identical to each other (canonical warm build id).
+// Any divergence is a hazard and exits non-zero — this is the CI gate
+// for the "build once" mechanism.
+func sharedCacheAudit(g *graph.Graph, model string, engines int) {
+	fmt.Printf("fleetcheck: %s, shared-cache convergence audit, %d units per platform\n\n", model, engines)
+	hazards := 0
+	for _, spec := range gpusim.Platforms() {
+		cache := core.NewTimingCache()
+		var coldCost float64
+		var cold *core.Engine
+		var warmBytes []byte
+		warmIdentical, tacticEqual := true, true
+		for b := 1; b <= engines; b++ {
+			cfg := core.DefaultConfig(spec, b)
+			cfg.TunerNoise = 0.08 + 0.01*float64(b) // per-unit noise settings must not matter
+			cfg.TimingCache = cache
+			cfg.CanonicalWarmID = true
+			e, err := core.Build(g, cfg)
+			if err != nil {
+				fail(err)
+			}
+			if b == 1 {
+				cold = e
+				coldCost = e.Report.TuneCostSec
+				continue
+			}
+			if !e.Report.WarmBuild || e.Report.CacheMisses != 0 {
+				fmt.Printf("%s unit #%d: NOT warm (%d misses)\n", spec.Short(), b, e.Report.CacheMisses)
+				hazards++
+				continue
+			}
+			if !sameKernelCounts(cold, e) {
+				tacticEqual = false
+			}
+			var buf bytes.Buffer
+			if err := e.Save(&buf); err != nil {
+				fail(err)
+			}
+			if warmBytes == nil {
+				warmBytes = buf.Bytes()
+			} else if !bytes.Equal(warmBytes, buf.Bytes()) {
+				warmIdentical = false
+			}
+		}
+		fmt.Printf("%s: cold unit paid %.1f ms tactic timing (%d entries cached); %d warm units: tactic-equal=%v byte-identical=%v\n",
+			spec.Short(), coldCost*1e3, cache.Len(), engines-1, tacticEqual, warmIdentical)
+		if !tacticEqual || !warmIdentical {
+			hazards++
+		}
+	}
+	fmt.Println()
+	if hazards > 0 {
+		fmt.Printf("VERDICT: %d shared-cache convergence hazard(s) found.\n", hazards)
+		os.Exit(1)
+	}
+	fmt.Println("VERDICT: shared-cache fleet converged (warm units byte-identical per platform).")
 }
 
 // sameKernelCounts compares the kernel-count maps of two engines.

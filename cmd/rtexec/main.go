@@ -45,6 +45,7 @@ func main() {
 	importPath := flag.String("import", "", "import a framework model file (written by -export)")
 	out := flag.String("o", "model.out", "output path for -export")
 	dot := flag.String("dot", "", "write a Graphviz rendering of the model graph to this path")
+	tcPath := flag.String("timingCache", "", "timing-cache file: loaded if present, saved after the build (warm builds skip tactic re-timing)")
 	flag.Parse()
 
 	if *list {
@@ -103,12 +104,33 @@ func main() {
 		default:
 			fail(fmt.Errorf("unknown precision %q", *precision))
 		}
+		var cache *core.TimingCache
+		if *tcPath != "" {
+			if _, statErr := os.Stat(*tcPath); statErr == nil {
+				cache, err = core.LoadTimingCacheFile(*tcPath)
+				fail(err)
+				fmt.Printf("loaded timing cache %s (%d entries)\n", *tcPath, cache.Len())
+			} else {
+				cache = core.NewTimingCache()
+			}
+			cfg.TimingCache = cache
+		}
 		e, err = core.Build(g, cfg)
 		fail(err)
 		fmt.Printf("built engine: %s on %s (build %d)\n", e.ModelName, e.Platform, e.BuildID)
 		fmt.Printf("  optimization: %d layers removed, %d fused, %d horizontally merged\n",
 			e.RemovedLayers, e.FusedLayers, e.MergedLaunches)
 		fmt.Printf("  plan: %d kernel launches, %.2f MB serialized\n", len(e.Launches), float64(e.SizeBytes())/1e6)
+		if rep := e.Report; rep != nil && cache != nil {
+			kind := "cold"
+			if rep.WarmBuild {
+				kind = "warm"
+			}
+			fmt.Printf("  timing cache: %s build, %d hits / %d misses, %.1f ms tactic-timing cost\n",
+				kind, rep.CacheHits, rep.CacheMisses, rep.TuneCostSec*1e3)
+			fail(cache.SaveFile(*tcPath))
+			fmt.Printf("saved timing cache to %s (%d entries)\n", *tcPath, cache.Len())
+		}
 	}
 	if *save != "" {
 		fail(e.SaveFile(*save))

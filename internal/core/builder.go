@@ -38,6 +38,24 @@ type BuildConfig struct {
 	// numeric graphs. Required when Precision is INT8 and the graph has
 	// materialized weights; ignored otherwise.
 	Calibrator Calibrator
+	// TimingCache, when non-nil, is consulted before any tactic is timed
+	// and populated with every measurement taken. Warm entries are
+	// returned as-is (no re-timing, no fresh noise), so builds served
+	// entirely from the cache are reproducible regardless of BuildID and
+	// TunerNoise — the paper's §VI-A remedy as a mechanism. Nil keeps
+	// today's per-build noisy timing exactly.
+	TimingCache *TimingCache
+	// CanonicalWarmID stamps BuildID 0 on engines whose every tactic
+	// came from the timing cache (see BuildReport.WarmBuild): warm
+	// rebuilds then serialize byte-identically. Off by default so that
+	// cache-assisted regeneration keeps stable build identities.
+	CanonicalWarmID bool
+	// DisablePasses names pipeline passes to skip (see DefaultPasses for
+	// the vocabulary). Skipped passes appear in the BuildReport flagged
+	// Disabled.
+	DisablePasses []string
+	// PassHook, when non-nil, observes each pass's stats as it completes.
+	PassHook func(PassStats)
 }
 
 // DefaultConfig returns the standard FP16 build configuration for a
@@ -53,65 +71,15 @@ func DefaultConfig(spec gpusim.DeviceSpec, buildID int) BuildConfig {
 }
 
 // Build runs the full optimization pipeline on a model graph and returns
-// a deployable engine. The input graph is not modified.
+// a deployable engine. The input graph is not modified. It is the
+// default pass pipeline (DefaultPasses) honouring cfg.DisablePasses and
+// cfg.PassHook; custom pipelines go through NewPassManager directly.
 func Build(src *graph.Graph, cfg BuildConfig) (*Engine, error) {
-	if !src.Finalized() {
-		return nil, fmt.Errorf("core: build of unfinalized graph %s", src.Name)
+	pm := NewPassManager(DefaultPasses()...).Disable(cfg.DisablePasses...)
+	if cfg.PassHook != nil {
+		pm.Hook(cfg.PassHook)
 	}
-	g := src.Clone()
-	g.Outputs = append([]string(nil), src.Outputs...)
-
-	// Pass 1: dead-layer removal.
-	removed := deadLayerRemoval(g)
-	if err := g.Finalize(); err != nil {
-		return nil, fmt.Errorf("core: after dead-layer removal: %w", err)
-	}
-	// Pass 2: vertical fusion.
-	fusions, fused := verticalFusion(g)
-	if err := g.Finalize(); err != nil {
-		return nil, fmt.Errorf("core: after vertical fusion: %w", err)
-	}
-	// INT8 builds calibrate activation ranges on the still-FP32 fused
-	// graph before weights are quantized.
-	var ranges map[string]float32
-	if cfg.Precision == tensor.INT8 && hasWeights(g) {
-		if cfg.Calibrator == nil {
-			return nil, fmt.Errorf("core: INT8 build of %s requires a Calibrator", src.Name)
-		}
-		var err error
-		ranges, err = cfg.Calibrator.Ranges(g)
-		if err != nil {
-			return nil, err
-		}
-	}
-	// Pass 4 (numeric engines): weight compression + quantization.
-	numeric := quantizeWeights(g, cfg.Precision, cfg.PruneFrac)
-
-	e := &Engine{
-		ModelName:  src.Name,
-		Platform:   cfg.Platform.Short(),
-		BuildID:    cfg.BuildID,
-		Precision:  cfg.Precision,
-		Graph:      g,
-		Choices:    map[string]kernels.Variant{},
-		Fusions:    fusions,
-		Numeric:    numeric,
-		Int8Ranges: ranges,
-	}
-	e.RemovedLayers = removed
-	e.FusedLayers = fused
-
-	// Pass 3+5: horizontal merging and kernel mapping.
-	dev := gpusim.NewDevice(cfg.Platform, cfg.ClockMHz)
-	tn := &tuner{
-		dev:   dev,
-		noise: fixrand.NewKeyed(fmt.Sprintf("tuner/%s", e.Key())),
-		sigma: cfg.TunerNoise,
-	}
-	if err := planLaunches(e, tn, cfg); err != nil {
-		return nil, err
-	}
-	return e, nil
+	return pm.Build(src, cfg)
 }
 
 // hasWeights reports whether any layer has materialized weight tensors.
@@ -128,28 +96,71 @@ func hasWeights(g *graph.Graph) bool {
 
 // tuner times kernel candidates on the build device with multiplicative
 // log-normal measurement noise — the root cause of engine
-// non-determinism.
+// non-determinism. With a timing cache attached, cached measurements are
+// reused instead of re-timed, which both removes the noise resample and
+// skips the (simulated) cost of running the candidate on the device.
 type tuner struct {
-	dev   *gpusim.Device
-	noise *fixrand.Source
-	sigma float64
+	dev    *gpusim.Device
+	noise  *fixrand.Source
+	sigma  float64
+	devKey string       // platform@clock — the cache's device component
+	cache  *TimingCache // nil: always measure
+	stats  *PassStats   // kernel-tuning instrumentation sink
 }
 
-// measure returns the (noisy) observed time of a launch. Two noise
-// components model real tactic timing on a busy SoC: a per-(build,
-// kernel-family) systematic bias — the thermal/clock state of the board
-// during that build session skews whole tactic classes together — and
-// per-(layer, symbol) jitter. The systematic part is what makes rebuilt
-// engines differ *coherently* (one build shuns HMMA tiles everywhere),
-// producing the paper's 10-35% engine-to-engine latency spreads.
-func (t *tuner) measure(key string, ls kernels.LaunchSpec) float64 {
-	base := ls.TimeSec(t.dev)
-	if t.sigma <= 0 {
-		return base
+// newTuner seeds the measurement-noise stream from the engine key, as
+// the original monolithic Build did, and binds the timing cache.
+func newTuner(dev *gpusim.Device, e *Engine, cfg BuildConfig, stats *PassStats) *tuner {
+	return &tuner{
+		dev:    dev,
+		noise:  fixrand.NewKeyed(fmt.Sprintf("tuner/%s", e.Key())),
+		sigma:  cfg.TunerNoise,
+		devKey: fmt.Sprintf("%s@%.0fMHz", cfg.Platform.Short(), dev.ClockMHz),
+		cache:  cfg.TimingCache,
+		stats:  stats,
 	}
-	sys := t.noise.Fork("family/" + ls.V.Family.String()).NormFloat64()
-	jit := t.noise.Fork(key + "/" + ls.Symbol).NormFloat64()
-	return base * math.Exp(sysSigma*sys+t.sigma*jit)
+}
+
+// Simulated cost of timing one tactic on the device: trtexec-style
+// averaging iterations of the kernel itself plus per-candidate setup
+// (allocation, cudaEventRecord, synchronization).
+const (
+	tuneItersPerTactic = 10
+	tuneOverheadSec    = 100e-6
+)
+
+// measure returns the observed time of a launch: the timing-cache entry
+// when one exists, else a fresh noisy measurement (inserted into the
+// cache when one is attached). Two noise components model real tactic
+// timing on a busy SoC: a per-(build, kernel-family) systematic bias —
+// the thermal/clock state of the board during that build session skews
+// whole tactic classes together — and per-(layer, symbol) jitter. The
+// systematic part is what makes rebuilt engines differ *coherently* (one
+// build shuns HMMA tiles everywhere), producing the paper's 10-35%
+// engine-to-engine latency spreads.
+func (t *tuner) measure(key string, d kernels.ConvDims, ls kernels.LaunchSpec) float64 {
+	t.stats.TacticsTimed++
+	var ck string
+	if t.cache != nil {
+		ck = TimingKey(t.devKey, ls.V, d, ls.V.Precision)
+		if obs, ok := t.cache.Lookup(ck); ok {
+			t.stats.CacheHits++
+			return obs
+		}
+		t.stats.CacheMisses++
+	}
+	base := ls.TimeSec(t.dev)
+	t.stats.TuneCostSec += tuneItersPerTactic*base + tuneOverheadSec
+	obs := base
+	if t.sigma > 0 {
+		sys := t.noise.Fork("family/" + ls.V.Family.String()).NormFloat64()
+		jit := t.noise.Fork(key + "/" + ls.Symbol).NormFloat64()
+		obs = base * math.Exp(sysSigma*sys+t.sigma*jit)
+	}
+	if t.cache != nil {
+		t.cache.Insert(ck, obs)
+	}
+	return obs
 }
 
 // sysSigma is the per-build systematic tactic-timing bias.
@@ -171,7 +182,7 @@ func (t *tuner) pick(layer string, d kernels.ConvDims, cands []kernels.Variant) 
 	var bs kernels.LaunchSpec
 	for _, v := range cands {
 		ls := kernels.PlanConv(v, d)
-		obs := t.measure(layer, ls)
+		obs := t.measure(layer, d, ls)
 		if obs < best {
 			best, bv, bs = obs, v, ls
 		}
@@ -199,13 +210,14 @@ func fcDims(g *graph.Graph, l *graph.Layer) kernels.ConvDims {
 	}
 }
 
-// planLaunches builds the ordered kernel plan: horizontal merge groups
-// for sibling 1x1 convolutions, tuned tactics for conv/FC, and fixed
-// kernels for everything else. Detection models get the cub radix-sort
-// pair that ranks boxes before NMS.
-func planLaunches(e *Engine, tn *tuner, cfg BuildConfig) error {
+// planLaunches builds the ordered kernel plan: tuned tactics for conv/FC
+// (with sibling 1x1 convolutions launched as the horizontal-merge pass's
+// groups), and fixed kernels for everything else. Detection models get
+// the cub radix-sort pair that ranks boxes before NMS. mergeLeader and
+// mergeGroup come from the horizontal-merge pass; nil maps plan every
+// layer individually.
+func planLaunches(e *Engine, tn *tuner, cfg BuildConfig, mergeLeader map[string]string, mergeGroup map[string][]string) error {
 	g := e.Graph
-	mergeLeader, mergeGroup := horizontalGroups(g)
 	planned := map[string]bool{}
 
 	for _, l := range g.Layers {

@@ -83,6 +83,10 @@ type Engine struct {
 	RemovedLayers  int
 	FusedLayers    int
 	MergedLaunches int
+
+	// Report is the per-pass build instrumentation (nil on engines
+	// loaded from plans written before the report existed).
+	Report *BuildReport
 }
 
 // WeightBytes returns the total engine-resident weight size in bytes.

@@ -60,3 +60,39 @@ func FuzzLoad(f *testing.F) {
 		}
 	})
 }
+
+// FuzzLoadTimingCache throws arbitrary bytes (seeded with real cache
+// streams and hostile length fields) at the timing-cache loader: it must
+// return an error or a valid cache, never panic or hang.
+func FuzzLoadTimingCache(f *testing.F) {
+	c := NewTimingCache()
+	c.Insert("NX@1109MHz|hmma.t64x64x32.sk0.nchw.a1.p1|b1.ic64.s56x56-oc64.o56x56-k3.st1.g1|p1", 3.2e-5)
+	c.Insert("NX@1109MHz|cuda.t32x32x8.sk2.nchw.a0.p0|b1.ic3.s224x224-oc64.o112x112-k7.st2.g1|p1", 1.1e-4)
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	stream := buf.Bytes()
+	f.Add(stream)
+	f.Add(stream[:len(stream)/2])
+	f.Add([]byte(timingCacheMagic))
+	f.Add([]byte{})
+	// hostile entry count
+	badCount := append([]byte(nil), stream...)
+	binary.LittleEndian.PutUint32(badCount[8:], 0xffffffff)
+	f.Add(badCount)
+	// hostile key length on the first entry
+	badKey := append([]byte(nil), stream...)
+	binary.LittleEndian.PutUint32(badKey[12:], 0x7fffffff)
+	f.Add(badKey)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<22 {
+			t.Skip()
+		}
+		c, err := LoadTimingCache(bytes.NewReader(data))
+		if err == nil && c == nil {
+			t.Fatal("nil cache without error")
+		}
+	})
+}

@@ -197,15 +197,16 @@ func foldBN(conv, bn *graph.Layer) {
 // weights: magnitude pruning (weights below pruneFrac of the tensor RMS
 // are zeroed — this removes the dense low-magnitude "overfit" component,
 // the paper's explanation for TensorRT's small accuracy gain) followed by
-// rounding to the engine precision. Returns true if any weights existed.
-func quantizeWeights(g *graph.Graph, prec tensor.Precision, pruneFrac float64) bool {
-	any := false
+// rounding to the engine precision. Returns the number of weight tensors
+// processed.
+func quantizeWeights(g *graph.Graph, prec tensor.Precision, pruneFrac float64) int {
+	n := 0
 	for _, l := range g.Layers {
 		for name, w := range l.Weights {
 			if w == nil {
 				continue
 			}
-			any = true
+			n++
 			if name == "w" && pruneFrac > 0 {
 				pruneTensor(w, pruneFrac)
 			}
@@ -217,7 +218,7 @@ func quantizeWeights(g *graph.Graph, prec tensor.Precision, pruneFrac float64) b
 			}
 		}
 	}
-	return any
+	return n
 }
 
 // pruneTensor zeroes elements whose magnitude is below frac times the

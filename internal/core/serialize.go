@@ -52,6 +52,7 @@ type planHeader struct {
 	Fusions    map[string]Fusion
 	Int8Ranges map[string]float32 `json:",omitempty"`
 	Launches   []Launch
+	Report     *BuildReport `json:",omitempty"`
 }
 
 type planLayer struct {
@@ -93,7 +94,7 @@ func (e *Engine) Save(w io.Writer) error {
 		Framework:      e.Graph.Framework, Task: e.Graph.Task,
 		InputShape: e.Graph.InputShape, Outputs: e.Graph.Outputs,
 		Choices: e.Choices, Fusions: e.Fusions, Launches: e.Launches,
-		Int8Ranges: e.Int8Ranges,
+		Int8Ranges: e.Int8Ranges, Report: e.Report,
 	}
 	for _, l := range e.Graph.Layers {
 		if l.Op == graph.OpInput {
@@ -358,7 +359,7 @@ func Load(r io.Reader) (*Engine, error) {
 		Choices: h.Choices, Fusions: h.Fusions, Launches: h.Launches,
 		Int8Ranges:    h.Int8Ranges,
 		RemovedLayers: h.RemovedLayers, FusedLayers: h.FusedLayers,
-		MergedLaunches: h.MergedLaunches,
+		MergedLaunches: h.MergedLaunches, Report: h.Report,
 	}, nil
 }
 

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"sync"
+
+	"edgeinfer/internal/kernels"
+	"edgeinfer/internal/tensor"
+)
+
+// TimingCache is the reproduction of TensorRT's ITimingCache: a
+// serializable table of tactic-timing measurements keyed by
+// (device, kernel variant, layer dimensions, precision) — and explicitly
+// NOT by build id. A cold build populates it with the tuner's (noisy)
+// observations; a warm build takes every measurement from the cache and
+// never re-times, so warm rebuilds of the same (model, platform,
+// precision) select identical tactics and serialize to identical plans —
+// the paper's §VI-A "build once" guarantee as a mechanism instead of an
+// operational rule. Safe for concurrent use.
+type TimingCache struct {
+	mu      sync.Mutex
+	entries map[string]float64
+}
+
+// NewTimingCache returns an empty cache.
+func NewTimingCache() *TimingCache {
+	return &TimingCache{entries: map[string]float64{}}
+}
+
+// TimingKey renders the cache key of one tactic measurement. The device
+// string must identify platform and clock (timings transfer across
+// neither); the variant is encoded in full because rendered kernel
+// symbols do not distinguish split-K siblings. Build id and tuner noise
+// deliberately do not appear: entries must be shareable across builds.
+func TimingKey(device string, v kernels.Variant, d kernels.ConvDims, prec tensor.Precision) string {
+	layout := "nchw"
+	if v.NHWC {
+		layout = "nhwc"
+	}
+	act := 0
+	if v.FusedAct {
+		act = 1
+	}
+	return fmt.Sprintf("%s|%s.t%dx%dx%d.sk%d.%s.a%d.p%d|b%d.ic%d.s%dx%d-oc%d.o%dx%d-k%d.st%d.g%d|p%d",
+		device,
+		v.Family, v.TileM, v.TileN, v.TileK, v.SplitK, layout, act, v.Precision,
+		d.Batch, d.InC, d.H, d.W, d.OutC, d.OutH, d.OutW, d.Kernel, d.Stride, d.Groups,
+		prec)
+}
+
+// Lookup returns the cached observed time for a key.
+func (c *TimingCache) Lookup(key string) (float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.entries[key]
+	return v, ok
+}
+
+// Insert records an observed time. First write wins: once a measurement
+// is published every later build must see the same value, or shared-cache
+// convergence would depend on build order.
+func (c *TimingCache) Insert(key string, secs float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; !ok {
+		c.entries[key] = secs
+	}
+}
+
+// Len returns the number of cached measurements.
+func (c *TimingCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Keys returns the cache keys in sorted order.
+func (c *TimingCache) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]string, 0, len(c.entries))
+	for k := range c.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Timing-cache files: magic, entry count, then per entry a length-
+// prefixed key and the float64 observed seconds. Like engine plans they
+// are untrusted input on load; see LoadTimingCache. Documented next to
+// the plan format in DESIGN.md.
+const timingCacheMagic = "EDGETC01"
+
+// Deserialization bounds: a hostile count or key length must fail after
+// a small allocation, not reserve the claimed size.
+const (
+	maxCacheEntries  = 1 << 20
+	maxCacheKeyBytes = 4096
+)
+
+// Save serializes the cache. Entries are written in sorted key order so
+// the same cache contents always produce the same bytes.
+func (c *TimingCache) Save(w io.Writer) error {
+	keys := c.Keys()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(timingCacheMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(keys))); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		if len(k) > maxCacheKeyBytes {
+			return fmt.Errorf("core: timing-cache key %d bytes exceeds limit", len(k))
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(k))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(k); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, math.Float64bits(c.entries[k])); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadTimingCache deserializes a cache. Cache files are untrusted input:
+// truncated, bit-flipped or hostile streams return an error — never a
+// panic, and never an allocation driven by an unvalidated length field.
+func LoadTimingCache(r io.Reader) (*TimingCache, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(timingCacheMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("core: read timing-cache magic: %w", err)
+	}
+	if string(magic) != timingCacheMagic {
+		return nil, fmt.Errorf("core: bad timing-cache magic %q", magic)
+	}
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, err
+	}
+	if count > maxCacheEntries {
+		return nil, fmt.Errorf("core: timing cache claims %d entries, limit %d", count, maxCacheEntries)
+	}
+	c := NewTimingCache()
+	for i := uint32(0); i < count; i++ {
+		var klen uint32
+		if err := binary.Read(br, binary.LittleEndian, &klen); err != nil {
+			return nil, fmt.Errorf("core: timing-cache entry %d: %w", i, err)
+		}
+		if klen == 0 || klen > maxCacheKeyBytes {
+			return nil, fmt.Errorf("core: timing-cache key length %d out of range", klen)
+		}
+		kb, err := readBounded(br, int64(klen))
+		if err != nil {
+			return nil, fmt.Errorf("core: timing-cache entry %d key: %w", i, err)
+		}
+		var bits uint64
+		if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+			return nil, fmt.Errorf("core: timing-cache entry %d value: %w", i, err)
+		}
+		secs := math.Float64frombits(bits)
+		if math.IsNaN(secs) || math.IsInf(secs, 0) || secs <= 0 {
+			return nil, fmt.Errorf("core: timing-cache entry %q has invalid time %v", kb, secs)
+		}
+		key := string(kb)
+		if _, dup := c.entries[key]; dup {
+			return nil, fmt.Errorf("core: timing cache has duplicate key %q", key)
+		}
+		c.entries[key] = secs
+	}
+	return c, nil
+}
+
+// SaveFile writes the cache to a file path.
+func (c *TimingCache) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := c.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadTimingCacheFile reads a cache from a file path.
+func LoadTimingCacheFile(path string) (*TimingCache, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadTimingCache(f)
+}

@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+
+	"edgeinfer/internal/core"
+	"edgeinfer/internal/gpusim"
+	"edgeinfer/internal/graph"
+	"edgeinfer/internal/models"
+)
+
+// Registry builds named engines on demand for one serving platform, with
+// every build sharing a single timing cache. The first build of a layer
+// shape pays the tactic-timing cost; later builds — other models with
+// common shapes, or rebuilds after a process restart — take their
+// measurements from the cache, so a fleet of executors converges on
+// identical engines (warm rebuilds are canonical: build id 0, identical
+// plan bytes). This is the serving-side half of the paper's §VI-A
+// "build once" guidance: the registry is the "once".
+type Registry struct {
+	spec  gpusim.DeviceSpec
+	cache *core.TimingCache
+
+	mu        sync.Mutex
+	engines   map[string]*core.Engine
+	fallbacks map[string]*graph.Graph
+	nextBuild int
+	stats     RegistryStats
+}
+
+// RegistryStats aggregates the build reports of every engine the
+// registry has produced.
+type RegistryStats struct {
+	ColdBuilds  int
+	WarmBuilds  int
+	CacheHits   int
+	CacheMisses int
+	TuneCostSec float64 // simulated tactic-timing cost paid so far
+}
+
+// NewRegistry creates a registry for one platform. A nil cache starts
+// empty; passing a loaded cache (core.LoadTimingCacheFile) makes every
+// first build warm.
+func NewRegistry(spec gpusim.DeviceSpec, cache *core.TimingCache) *Registry {
+	if cache == nil {
+		cache = core.NewTimingCache()
+	}
+	return &Registry{
+		spec:      spec,
+		cache:     cache,
+		engines:   map[string]*core.Engine{},
+		fallbacks: map[string]*graph.Graph{},
+		nextBuild: 1,
+	}
+}
+
+// TimingCache exposes the shared cache (for persisting across restarts).
+func (r *Registry) TimingCache() *core.TimingCache { return r.cache }
+
+// Stats returns the accumulated build statistics.
+func (r *Registry) Stats() RegistryStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// Engine returns the timing-only engine for a model, building it on
+// first use.
+func (r *Registry) Engine(model string) (*core.Engine, error) {
+	return r.engine("full/"+model, model, false)
+}
+
+// ProxyEngine returns the numeric proxy engine for a model, building it
+// on first use. Numeric engines serve both timed and numeric requests.
+func (r *Registry) ProxyEngine(model string) (*core.Engine, error) {
+	return r.engine("proxy/"+model, model, true)
+}
+
+// Rebuild discards the memoized engine and builds the model again. With
+// the shapes already cached the rebuild is warm: no re-timing, canonical
+// build id, plan bytes identical to any other warm rebuild.
+func (r *Registry) Rebuild(model string) (*core.Engine, error) {
+	r.mu.Lock()
+	delete(r.engines, "proxy/"+model)
+	r.mu.Unlock()
+	return r.ProxyEngine(model)
+}
+
+func (r *Registry) engine(key, model string, proxy bool) (*core.Engine, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.engines[key]; ok {
+		return e, nil
+	}
+	var g *graph.Graph
+	var err error
+	if proxy {
+		g, err = models.BuildProxy(model, models.DefaultProxyOptions())
+	} else {
+		g, err = models.Build(model)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("serve: registry model %s: %w", model, err)
+	}
+	cfg := core.DefaultConfig(r.spec, r.nextBuild)
+	cfg.TimingCache = r.cache
+	cfg.CanonicalWarmID = true
+	e, err := core.Build(g, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("serve: registry build %s: %w", model, err)
+	}
+	r.nextBuild++
+	if rep := e.Report; rep != nil {
+		if rep.WarmBuild {
+			r.stats.WarmBuilds++
+		} else {
+			r.stats.ColdBuilds++
+		}
+		r.stats.CacheHits += rep.CacheHits
+		r.stats.CacheMisses += rep.CacheMisses
+		r.stats.TuneCostSec += rep.TuneCostSec
+	}
+	r.engines[key] = e
+	return e, nil
+}
+
+// Fallback returns the pristine (un-built) numeric proxy graph for the
+// FP32 reference tier, memoized per model.
+func (r *Registry) Fallback(model string) (*graph.Graph, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.fallbacks[model]; ok {
+		return g, nil
+	}
+	g, err := models.BuildProxy(model, models.DefaultProxyOptions())
+	if err != nil {
+		return nil, fmt.Errorf("serve: registry fallback %s: %w", model, err)
+	}
+	r.fallbacks[model] = g
+	return g, nil
+}
+
+// Executor assembles a resilient executor for a model, drawing every
+// tier from the registry: the tuned tier is the shared numeric proxy
+// engine, the FP32 tier the pristine proxy graph. Fields the caller set
+// in cfg (injector, deadline, retry policy, device, a low-batch engine)
+// are preserved; a nil Device defaults to the platform at its paper
+// latency clock.
+func (r *Registry) Executor(model string, cfg Config) (*Executor, error) {
+	e, err := r.ProxyEngine(model)
+	if err != nil {
+		return nil, err
+	}
+	fb, err := r.Fallback(model)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Engine = e
+	cfg.Fallback = fb
+	if cfg.Device == nil {
+		cfg.Device = gpusim.NewDevice(r.spec, gpusim.PaperLatencyClock(r.spec))
+	}
+	return New(cfg)
+}
