@@ -3,10 +3,11 @@
 # (the serve/faults packages are exercised concurrently), short fuzz
 # smokes over the two untrusted deserializers (engine plans and timing
 # caches), the shared-timing-cache fleet-convergence audit (warm rebuilds
-# must be byte-identical), and the rtlint static-analysis suite — source
-# analyzers over the module, then static plan-IR verification of every
-# classifier engine the results are generated from. Run from the repo
-# root.
+# must be byte-identical), the chaos smoke (a short replica-fleet soak
+# that must show zero wrong-answer escapes and zero leaked quarantines),
+# and the rtlint static-analysis suite — source analyzers over the
+# module, then static plan-IR verification of every classifier engine
+# the results are generated from. Run from the repo root.
 set -eux
 
 go vet ./...
@@ -15,5 +16,6 @@ go test -race ./...
 go test -run='^$' -fuzz='^FuzzLoad$' -fuzztime=10s ./internal/core
 go test -run='^$' -fuzz='^FuzzLoadTimingCache$' -fuzztime=5s ./internal/core
 go run ./cmd/fleetcheck -model resnet18 -sharedCache
+go run ./cmd/chaosbench -smoke -requests 30 -out ''
 go run ./cmd/rtlint ./...
 go run ./cmd/rtlint -plancheck

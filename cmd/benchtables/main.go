@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 
+	"edgeinfer/internal/atomicfile"
 	"edgeinfer/internal/experiments"
 )
 
@@ -123,7 +124,7 @@ func writeCSVs(lab *experiments.Lab, dir string) {
 		"figure4.csv": lab.Figure4(),
 	} {
 		path := dir + "/" + name
-		if err := os.WriteFile(path, []byte(experiments.FigureCSV(series)), 0o644); err != nil {
+		if err := atomicfile.WriteFile(path, []byte(experiments.FigureCSV(series)), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "benchtables:", err)
 			os.Exit(1)
 		}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"edgeinfer/internal/atomicfile"
 	"edgeinfer/internal/core"
 	"edgeinfer/internal/gpusim"
 	"edgeinfer/internal/models"
@@ -68,7 +69,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "edgeprof:", err)
 			os.Exit(1)
 		}
-		if err := os.WriteFile(*chrome, doc, 0o644); err != nil {
+		if err := atomicfile.WriteFile(*chrome, doc, 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "edgeprof:", err)
 			os.Exit(1)
 		}

@@ -19,6 +19,7 @@ import (
 	"strconv"
 	"strings"
 
+	"edgeinfer/internal/atomicfile"
 	"edgeinfer/internal/experiments"
 	"edgeinfer/internal/models"
 )
@@ -63,7 +64,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "faultbench:", err)
 			os.Exit(1)
 		}
-		if err := os.WriteFile(*out, []byte(text+"\n"), 0o644); err != nil {
+		if err := atomicfile.WriteFile(*out, []byte(text+"\n"), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "faultbench:", err)
 			os.Exit(1)
 		}

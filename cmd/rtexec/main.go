@@ -76,7 +76,7 @@ func main() {
 	}
 
 	if *dot != "" && g != nil {
-		fail(os.WriteFile(*dot, []byte(g.DOT()), 0o644))
+		fail(writeFile(*dot, []byte(g.DOT())))
 		fmt.Printf("wrote graph of %s to %s (render with: dot -Tsvg %s)\n", g.Name, *dot, *dot)
 		return
 	}

@@ -4,8 +4,8 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
-	"os"
 
+	"edgeinfer/internal/atomicfile"
 	"edgeinfer/internal/frameworks"
 )
 
@@ -62,7 +62,8 @@ func readModel(data []byte) (frameworks.Model, error) {
 	return frameworks.Model{Format: frameworks.Format(format), Arch: arch, Weights: weights}, nil
 }
 
-// writeFile wraps os.WriteFile with conventional permissions.
+// writeFile writes artifacts crash-safely (temp file + rename) with
+// conventional permissions.
 func writeFile(path string, data []byte) error {
-	return os.WriteFile(path, data, 0o644)
+	return atomicfile.WriteFile(path, data, 0o644)
 }

@@ -17,6 +17,7 @@ var DefaultPanicRoots = []string{
 	"(*edgeinfer/internal/core.Engine).Infer",
 	"(*edgeinfer/internal/core.Engine).InferFaulty",
 	"(*edgeinfer/internal/serve.Executor).Do",
+	"(*edgeinfer/internal/serve.Pool).Do",
 }
 
 // PanicPath returns the analyzer that walks the static call graph from

@@ -1,0 +1,58 @@
+// Package atomicfile provides crash-safe file writes for every on-disk
+// artifact the tools produce — engine plans, timing caches, exported
+// models, result tables, CSVs and traces. Data is written to a
+// temporary file in the destination directory, fsync'd, and renamed
+// over the target, so an interrupted run never leaves a truncated
+// artifact behind for the hardened loaders to reject: readers observe
+// either the old complete file or the new complete file, never a
+// partial one.
+package atomicfile
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with data at the given
+// permissions. The temporary file is created next to the target (a
+// rename across filesystems is not atomic) and removed on any failure.
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-")
+	if err != nil {
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("atomicfile: write %s: %w", path, err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return fail(err)
+	}
+	// The durability point: data must hit the disk before the rename
+	// publishes the file, or a crash could expose an empty rename target.
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("atomicfile: write %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("atomicfile: publish %s: %w", path, err)
+	}
+	// Best-effort directory sync so the rename itself survives a crash;
+	// some filesystems do not support fsync on directories.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}

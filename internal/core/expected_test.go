@@ -1,0 +1,47 @@
+package core_test
+
+import (
+	"testing"
+
+	"edgeinfer/internal/core"
+	"edgeinfer/internal/gpusim"
+	"edgeinfer/internal/models"
+)
+
+// ExpectedLatencySec must be the noise-free center of Run: the ratio of
+// every observed run latency to the expectation stays within the
+// lognormal jitter band, and the BuildReport carries the build-time
+// stamp for the serving watchdog.
+func TestExpectedLatencyCentersRun(t *testing.T) {
+	g := models.MustBuild("resnet18")
+	spec := gpusim.XavierNX()
+	e, err := core.Build(g, core.DefaultConfig(spec, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Report == nil || e.Report.ExpectedLatencySec <= 0 {
+		t.Fatalf("build report missing expected latency: %+v", e.Report)
+	}
+	// The report stamp is the engine's own accessor on the build device
+	// at the build clock (DefaultConfig leaves ClockMHz 0 = max).
+	buildDev := gpusim.NewDevice(spec, 0)
+	if got := e.ExpectedLatencySec(buildDev, false); got != e.Report.ExpectedLatencySec {
+		t.Fatalf("report stamp %v != accessor %v", e.Report.ExpectedLatencySec, got)
+	}
+	dev := gpusim.NewDevice(spec, gpusim.PaperLatencyClock(spec))
+	want := e.ExpectedLatencySec(dev, false)
+	if want <= 0 {
+		t.Fatal("expected latency not positive")
+	}
+	for run := 0; run < 10; run++ {
+		obs := e.Run(core.RunConfig{Device: dev, RunIndex: run}).LatencySec
+		if ratio := obs / want; ratio < 0.85 || ratio > 1.15 {
+			t.Fatalf("run %d ratio %.3f outside the jitter band (obs %v, expected %v)", run, ratio, obs, want)
+		}
+	}
+	// With memcpy the expectation grows by the H2D copy cost.
+	withCopy := e.ExpectedLatencySec(dev, true)
+	if withCopy <= want {
+		t.Fatalf("memcpy expectation %v not above compute-only %v", withCopy, want)
+	}
+}

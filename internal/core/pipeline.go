@@ -53,6 +53,12 @@ type BuildReport struct {
 	// tactic came from it: the engine is a pure function of (model,
 	// platform, precision, cache), independent of build id and noise.
 	WarmBuild bool
+
+	// ExpectedLatencySec is the noise-free plan latency on the build
+	// device at the build clock (Engine.ExpectedLatencySec at build
+	// time): the per-replica baseline a serving-side latency watchdog
+	// compares observed run latencies against.
+	ExpectedLatencySec float64 `json:",omitempty"`
 }
 
 // Pass returns the stats of a named pass, or nil if the pipeline did not
@@ -206,6 +212,7 @@ func (pm *PassManager) Build(src *graph.Graph, cfg BuildConfig) (*Engine, error)
 		}
 	}
 
+	report.ExpectedLatencySec = e.ExpectedLatencySec(gpusim.NewDevice(cfg.Platform, cfg.ClockMHz), false)
 	if cfg.TimingCache != nil && report.CacheMisses == 0 {
 		report.WarmBuild = true
 		// A fully-warm build never sampled tuner noise: the engine is

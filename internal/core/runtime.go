@@ -64,6 +64,23 @@ func (e *Engine) Run(cfg RunConfig) RunResult {
 	return res
 }
 
+// ExpectedLatencySec is the noise-free center of Run's jittered latency
+// on a device: per-launch model time with the steady-state overlap
+// factor plus launch overhead, and the H2D weight copy when
+// includeMemcpy is set. The serving layer's latency watchdog compares
+// observed RunFaulty latencies against this expectation — a sustained
+// ratio well above 1 means the replica, not the request, is sick.
+func (e *Engine) ExpectedLatencySec(dev *gpusim.Device, includeMemcpy bool) float64 {
+	var total float64
+	if includeMemcpy {
+		total += dev.MemcpyH2DSec(e.WeightBytes(), e.WeightChunks())
+	}
+	for _, l := range e.Launches {
+		total += l.Spec.TimeSec(dev)*overlapFactor + dev.LaunchOverheadSec()
+	}
+	return total
+}
+
 // GPUTimeSec returns the pure GPU-resident time of one inference on a
 // device (no memcpy, no profiler, no host gaps): the per-frame GPU cost
 // used by the concurrency model.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
@@ -10,6 +11,7 @@ import (
 	"os"
 	"sort"
 
+	"edgeinfer/internal/atomicfile"
 	"edgeinfer/internal/graph"
 	"edgeinfer/internal/kernels"
 	"edgeinfer/internal/planlint"
@@ -382,17 +384,16 @@ func readFloat32s(r io.Reader, elems int64) ([]float32, error) {
 	return data, nil
 }
 
-// SaveFile writes the engine plan to a file path.
+// SaveFile writes the engine plan to a file path. The write is
+// crash-safe: the plan is serialized to memory first and published with
+// an atomic rename, so an interrupted save never leaves a truncated
+// plan for the hardened loader to reject.
 func (e *Engine) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
 		return err
 	}
-	defer f.Close()
-	if err := e.Save(f); err != nil {
-		return err
-	}
-	return f.Close()
+	return atomicfile.WriteFile(path, buf.Bytes(), 0o644)
 }
 
 // LoadFile reads an engine plan from a file path.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -10,6 +11,7 @@ import (
 	"sort"
 	"sync"
 
+	"edgeinfer/internal/atomicfile"
 	"edgeinfer/internal/kernels"
 	"edgeinfer/internal/tensor"
 )
@@ -184,17 +186,16 @@ func LoadTimingCache(r io.Reader) (*TimingCache, error) {
 	return c, nil
 }
 
-// SaveFile writes the cache to a file path.
+// SaveFile writes the cache to a file path. The write is crash-safe
+// (serialize to memory, publish with an atomic rename), so an
+// interrupted save never leaves a truncated cache that the hardened
+// loader would then reject.
 func (c *TimingCache) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
 		return err
 	}
-	defer f.Close()
-	if err := c.Save(f); err != nil {
-		return err
-	}
-	return f.Close()
+	return atomicfile.WriteFile(path, buf.Bytes(), 0o644)
 }
 
 // LoadTimingCacheFile reads a cache from a file path.

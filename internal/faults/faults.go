@@ -45,6 +45,19 @@ const (
 	KindAllocFail
 	// KindBitFlip is a corruption event in weights or activations.
 	KindBitFlip
+	// KindLatencyInflate is a sustained per-launch slowdown scoped to one
+	// replica (a sick clone, not a sick device): every launch runs
+	// InflateFactor times slower until the replica is rebuilt.
+	KindLatencyInflate
+	// KindStuckKernel is a single kernel symbol that hangs for
+	// StuckStallSec on every invocation — the paper's tactic-tuned plans
+	// make this replica-specific, since diverged builds pick different
+	// kernels for the same layer.
+	KindStuckKernel
+	// KindSilentCorrupt is a value-level corruption of an output
+	// activation with no error signal: the fault the latency watchdog
+	// cannot see and only quorum voting catches.
+	KindSilentCorrupt
 
 	nKinds
 )
@@ -52,6 +65,7 @@ const (
 var kindNames = [nKinds]string{
 	"clock-drop", "launch-fail", "stream-stall",
 	"memcpy-retry", "memcpy-fail", "alloc-fail", "bit-flip",
+	"latency-inflate", "stuck-kernel", "silent-corrupt",
 }
 
 // String implements fmt.Stringer.
@@ -106,6 +120,18 @@ type Plan struct {
 	// FlipsPerEvent random bits (default 1).
 	BitFlipRate   float64
 	FlipsPerEvent int
+
+	// Replica-scoped degradations (see ReplicaHavoc). InflateFactor > 1
+	// slows every launch by that factor — sustained, not transient, so a
+	// latency watchdog comparing against the replica's build expectation
+	// can see it. StuckSymbol names a kernel symbol (substring match)
+	// that stalls StuckStallSec on every invocation. SilentCorruptRate is
+	// the per-layer probability an output activation is silently spiked —
+	// no error, no latency signature, only disagreement with peers.
+	InflateFactor     float64
+	StuckSymbol       string
+	StuckStallSec     float64
+	SilentCorruptRate float64
 }
 
 // Scenario returns a plan in which every fault class fires at the given
@@ -128,11 +154,31 @@ func Scenario(seed string, rate float64) Plan {
 	}
 }
 
+// ReplicaHavoc is the replica-scoped degradation scenario of the chaos
+// study: a sustained 10x kernel-time inflation (a replica stuck in its
+// minimum DVFS state), a stuck kernel (when stuckSymbol is non-empty),
+// and silent output corruption — the three signatures a fleet
+// supervisor must detect from outside, since none of them return
+// errors. The inflation factor is chosen so the end-to-end latency
+// ratio stays well above a watchdog threshold even on tiny proxy
+// engines, where fixed launch overhead dominates and dilutes kernel-
+// time inflation.
+func ReplicaHavoc(seed, stuckSymbol string) Plan {
+	return Plan{
+		Seed:              seed,
+		InflateFactor:     10,
+		StuckSymbol:       stuckSymbol,
+		StuckStallSec:     2e-3,
+		SilentCorruptRate: 0.08,
+	}
+}
+
 // Zero reports whether the plan injects nothing.
 func (p Plan) Zero() bool {
 	return p.LaunchFailRate == 0 && p.StallRate == 0 && p.ClockDropRate == 0 &&
 		p.MemcpyRetryRate == 0 && p.AllocFailRate == 0 && p.CapacityBytes == 0 &&
-		p.BitFlipRate == 0
+		p.BitFlipRate == 0 && p.InflateFactor <= 1 && p.StuckSymbol == "" &&
+		p.SilentCorruptRate == 0
 }
 
 // Counters tallies injected faults by kind. The zero value is ready to
@@ -259,8 +305,18 @@ func (in *Injector) Launch(index int, symbol string) (lf core.LaunchFault) {
 		in.counters.Add(KindClockDrop, 1)
 	}
 	lf.ClockScale = in.clockScale
+	// Sustained replica-scoped inflation rides on top of the DVFS state:
+	// no random draw, so it never perturbs the transient-fault streams.
+	if in.plan.InflateFactor > 1 {
+		lf.ClockScale /= in.plan.InflateFactor
+		in.counters.Add(KindLatencyInflate, 1)
+	}
+	if in.plan.StuckSymbol != "" && strings.Contains(symbol, in.plan.StuckSymbol) {
+		lf.StallSec += in.plan.StuckStallSec
+		in.counters.Add(KindStuckKernel, 1)
+	}
 	if in.plan.StallRate > 0 && in.rng.Float64() < in.plan.StallRate {
-		lf.StallSec = in.plan.StallSec
+		lf.StallSec += in.plan.StallSec
 		in.counters.Add(KindStreamStall, 1)
 	}
 	if in.plan.LaunchFailRate > 0 && in.rng.Float64() < in.plan.LaunchFailRate {
@@ -287,18 +343,28 @@ func (in *Injector) CorruptWeights(layer, key string, w *tensor.Tensor) *tensor.
 	return c
 }
 
+// silentSpike is the additive excursion of a silent-corruption event:
+// large enough to move an argmax, invisible to every error path.
+const silentSpike = 1e3
+
 // CorruptActivation implements core.FaultInjector: with BitFlipRate it
-// flips FlipsPerEvent random bits of y in place.
+// flips FlipsPerEvent random bits of y in place; with SilentCorruptRate
+// it adds a large spike to one element. Each mechanism draws from the
+// stream only when its rate is positive, so enabling one never shifts
+// the other's draw sequence.
 func (in *Injector) CorruptActivation(layer string, y *tensor.Tensor) {
 	if y == nil || len(y.Data) == 0 {
 		return
 	}
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	if in.plan.BitFlipRate <= 0 || in.rng.Float64() >= in.plan.BitFlipRate {
-		return
+	if in.plan.BitFlipRate > 0 && in.rng.Float64() < in.plan.BitFlipRate {
+		in.flipBits(y)
 	}
-	in.flipBits(y)
+	if in.plan.SilentCorruptRate > 0 && in.rng.Float64() < in.plan.SilentCorruptRate {
+		y.Data[in.rng.Intn(len(y.Data))] += silentSpike
+		in.counters.Add(KindSilentCorrupt, 1)
+	}
 }
 
 // flipBits flips FlipsPerEvent random bits across the tensor. Bits 0-30

@@ -173,6 +173,83 @@ func TestAllocCapacityModel(t *testing.T) {
 	}
 }
 
+func TestLatencyInflateSustained(t *testing.T) {
+	in := Plan{Seed: "slow", InflateFactor: 10}.New("r1")
+	for i := 0; i < 50; i++ {
+		lf := in.Launch(i, "k")
+		if lf.ClockScale != 0.1 {
+			t.Fatalf("launch %d clock scale %v, want sustained 0.1", i, lf.ClockScale)
+		}
+		if lf.Fail || lf.StallSec != 0 {
+			t.Fatalf("inflation-only plan injected other faults: %+v", lf)
+		}
+	}
+	if in.Counters().Get(KindLatencyInflate) != 50 {
+		t.Fatalf("inflate count %d, want 50", in.Counters().Get(KindLatencyInflate))
+	}
+}
+
+func TestStuckKernelMatchesSymbolOnly(t *testing.T) {
+	in := Plan{Seed: "stuck", StuckSymbol: "winograd", StuckStallSec: 2e-3}.New("r2")
+	if lf := in.Launch(0, "trt_volta_winograd_3x3"); lf.StallSec != 2e-3 {
+		t.Fatalf("matching symbol not stalled: %+v", lf)
+	}
+	if lf := in.Launch(1, "trt_volta_hmma_128x64"); lf.StallSec != 0 {
+		t.Fatalf("non-matching symbol stalled: %+v", lf)
+	}
+	if in.Counters().Get(KindStuckKernel) != 1 {
+		t.Fatalf("stuck-kernel count %d, want 1", in.Counters().Get(KindStuckKernel))
+	}
+}
+
+func TestSilentCorruptSpikesInPlace(t *testing.T) {
+	in := Plan{Seed: "silent", SilentCorruptRate: 1}.New("r3")
+	y := tensor.NewVec(32)
+	orig := y.Clone()
+	in.CorruptActivation("conv1", y)
+	changed := 0
+	for i := range y.Data {
+		if y.Data[i] != orig.Data[i] {
+			changed++
+			if y.Data[i]-orig.Data[i] != silentSpike {
+				t.Fatalf("element %d moved by %v, want the %v spike", i, y.Data[i]-orig.Data[i], silentSpike)
+			}
+		}
+	}
+	if changed != 1 {
+		t.Fatalf("%d elements changed, want exactly 1", changed)
+	}
+	if in.Counters().Get(KindSilentCorrupt) != 1 {
+		t.Fatalf("silent-corrupt count %d, want 1", in.Counters().Get(KindSilentCorrupt))
+	}
+	// Weights are untouched by this mode, and no stream draw happens for
+	// disabled mechanisms (draw-order preservation).
+	w := tensor.NewVec(8)
+	if got := in.CorruptWeights("conv1", "w", w); got != w {
+		t.Fatal("silent-corrupt plan copied weights")
+	}
+}
+
+func TestReplicaHavocPlan(t *testing.T) {
+	p := ReplicaHavoc("chaos", "hmma")
+	if p.Zero() {
+		t.Fatal("havoc plan reports zero")
+	}
+	if (Plan{Seed: "x"}).Zero() != true {
+		t.Fatal("empty plan not zero")
+	}
+	// Each replica-scoped field alone must defeat Zero().
+	for i, p := range []Plan{
+		{InflateFactor: 2},
+		{StuckSymbol: "k", StuckStallSec: 1e-3},
+		{SilentCorruptRate: 0.1},
+	} {
+		if p.Zero() {
+			t.Fatalf("plan %d reports zero", i)
+		}
+	}
+}
+
 func TestFaultRatesApproximatePlan(t *testing.T) {
 	const n = 5000
 	in := Scenario("rates", 0.2).New("nx")

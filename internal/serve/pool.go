@@ -1,0 +1,746 @@
+// Self-healing replica fleet. The paper's Findings 2 and 6 establish
+// that independently built engines of the same model genuinely diverge —
+// different tactic choices, different rounding, occasionally different
+// argmaxes. A Pool turns that liability into a fault detector: K
+// replicas with distinct build ids serve together, a quorum dispatcher
+// votes on their argmaxes, and a Supervisor watches two health signals
+// per replica — a latency watchdog (observed run latency vs the
+// replica's own build-time plan expectation, EWMA-smoothed) and a
+// divergence score (EWMA of quorum disagreements). Replicas that go bad
+// walk a state machine
+//
+//	healthy → suspect → quarantined → rebuilding → readmitted → healthy
+//
+// quarantined replicas leave the dispatch set (traffic drains to the
+// remaining replicas, or to the FP32 reference tier when none remain),
+// are rebuilt in the background through the registry's shared timing
+// cache — a warm, canonical rebuild, the §VI-A "build once" mechanism —
+// re-validated against the FP32 reference on a canary set, and
+// readmitted. Every transition is counted (metrics.Transitions) and
+// appended to a transcript that is byte-identical across same-seed runs.
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"edgeinfer/internal/core"
+	"edgeinfer/internal/gpusim"
+	"edgeinfer/internal/graph"
+	"edgeinfer/internal/metrics"
+	"edgeinfer/internal/tensor"
+)
+
+// ReplicaState is one stage of the supervisor's per-replica state
+// machine.
+type ReplicaState int
+
+const (
+	// StateHealthy replicas serve traffic with no live anomaly signal.
+	StateHealthy ReplicaState = iota
+	// StateSuspect replicas serve traffic while an anomaly signal is
+	// being confirmed.
+	StateSuspect
+	// StateQuarantined replicas are out of the dispatch set, waiting for
+	// the background rebuild to land.
+	StateQuarantined
+	// StateRebuilding replicas are being rebuilt and canary-validated.
+	StateRebuilding
+	// StateReadmitted replicas are back in the dispatch set on
+	// probation: one clean observation away from healthy.
+	StateReadmitted
+
+	numStates
+)
+
+var stateNames = [numStates]string{
+	"healthy", "suspect", "quarantined", "rebuilding", "readmitted",
+}
+
+// String implements fmt.Stringer.
+func (s ReplicaState) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// PoolConfig parameterizes a replica fleet. Model is required;
+// everything else has working defaults.
+type PoolConfig struct {
+	// Model names the served model (a models.Build/BuildProxy name).
+	Model string
+	// Replicas is the fleet size K (default 3). Replica 0 populates the
+	// registry's shared timing cache; the rest build cold and diverge.
+	Replicas int
+	// Quorum selects hedged dispatch with majority voting on argmax.
+	// False selects round-robin (latency watchdog only — a round-robin
+	// fleet has no peers to disagree with, so silent corruption is
+	// invisible to it by construction).
+	Quorum bool
+	// Device the fleet serves on; nil defaults to the registry platform
+	// at its paper latency clock.
+	Device *gpusim.Device
+	// IncludeMemcpy counts the H2D weight copy in each replica run (and
+	// in the watchdog's expectation).
+	IncludeMemcpy bool
+	// ReplicaInjector, when non-nil, is consulted per replica — at fleet
+	// construction and again after every rebuild — so faults can target
+	// one build id and heal when the rebuild lands. Nil return means the
+	// replica runs pristine.
+	ReplicaInjector func(slot int, e *core.Engine) core.FaultInjector
+
+	// LatencyThreshold is the watchdog trip point: the EWMA of
+	// observed/expected latency above which a replica is anomalous
+	// (default 1.4 — run jitter is ~2%, so nothing natural gets close,
+	// while a sustained inflation clears it even on tiny proxy engines
+	// whose fixed launch overhead dilutes kernel-time slowdowns).
+	LatencyThreshold float64
+	// DivergenceThreshold is the quorum-disagreement EWMA trip point
+	// (default 0.45 — diverged builds legitimately disagree on a few
+	// percent of inputs, corrupted replicas on most).
+	DivergenceThreshold float64
+	// EWMAAlpha is the smoothing weight of both signals (default 0.3).
+	EWMAAlpha float64
+	// MinSamples gates both signals: no verdict before this many
+	// observations of a replica (default 3).
+	MinSamples int
+	// SuspectConfirm is how many consecutive anomalous observations
+	// (including the one that raised suspicion) quarantine a suspect
+	// (default 2).
+	SuspectConfirm int
+	// RebuildDelay is how many requests a replica sits quarantined
+	// before its background rebuild lands (the deterministic model of
+	// rebuild time; default 4).
+	RebuildDelay int
+	// Canary is the validation set a rebuilt replica must pass before
+	// readmission: its argmax must match the FP32 reference on at least
+	// CanaryAgreeFrac of the inputs (default 0.5 — a canonical engine
+	// legitimately disagrees with FP32 on some inputs, per the paper's
+	// Tables V and VI). An empty canary set skips validation.
+	Canary          []*tensor.Tensor
+	CanaryAgreeFrac float64
+}
+
+func (c *PoolConfig) withDefaults() PoolConfig {
+	d := *c
+	if d.Replicas <= 0 {
+		d.Replicas = 3
+	}
+	if d.LatencyThreshold <= 0 {
+		d.LatencyThreshold = 1.4
+	}
+	if d.DivergenceThreshold <= 0 {
+		d.DivergenceThreshold = 0.45
+	}
+	if d.EWMAAlpha <= 0 || d.EWMAAlpha > 1 {
+		d.EWMAAlpha = 0.3
+	}
+	if d.MinSamples <= 0 {
+		d.MinSamples = 3
+	}
+	if d.SuspectConfirm <= 0 {
+		d.SuspectConfirm = 2
+	}
+	if d.RebuildDelay <= 0 {
+		d.RebuildDelay = 4
+	}
+	if d.CanaryAgreeFrac <= 0 || d.CanaryAgreeFrac > 1 {
+		d.CanaryAgreeFrac = 0.5
+	}
+	return d
+}
+
+// replica is one fleet member and its supervisor-side health state.
+type replica struct {
+	slot     int
+	eng      *core.Engine
+	inj      core.FaultInjector
+	expected float64 // watchdog baseline on the serving device
+
+	state   ReplicaState
+	latEWMA float64 // EWMA of observed/expected latency ratio
+	divEWMA float64 // EWMA of quorum disagreement (0/1 per vote)
+	samples int
+	strikes int // consecutive anomalous observations while suspect
+
+	quarantinedAt uint64
+	quarantines   int
+	rebuilds      int
+	readmits      int
+}
+
+func (r *replica) activeState() bool {
+	switch r.state {
+	case StateHealthy, StateSuspect, StateReadmitted:
+		return true
+	}
+	return false
+}
+
+// Supervisor maintains per-replica health state from the latency
+// watchdog and divergence signals, records every state transition, and
+// keeps the deterministic transcript. It is owned by a Pool, which holds
+// the lock.
+type Supervisor struct {
+	cfg        PoolConfig
+	reps       []*replica
+	trans      metrics.Transitions
+	transcript []string
+}
+
+func newSupervisor(cfg PoolConfig) *Supervisor {
+	return &Supervisor{cfg: cfg}
+}
+
+// active returns the replicas currently in the dispatch set, in slot
+// order.
+func (s *Supervisor) active() []*replica {
+	out := make([]*replica, 0, len(s.reps))
+	for _, r := range s.reps {
+		if r.activeState() {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// transition moves a replica to a new state, counting the edge and
+// appending a transcript line.
+func (s *Supervisor) transition(req uint64, r *replica, to ReplicaState, detail string) {
+	from := r.state
+	s.trans.Add(from.String(), to.String())
+	r.state = to
+	line := fmt.Sprintf("req %d: replica %d (build %d) %s->%s", req, r.slot, r.eng.BuildID, from, to)
+	if detail != "" {
+		line += " " + detail
+	}
+	s.transcript = append(s.transcript, line)
+}
+
+// noteDivergence folds one quorum vote into a replica's divergence EWMA.
+func (s *Supervisor) noteDivergence(r *replica, disagreed bool) {
+	d := 0.0
+	if disagreed {
+		d = 1
+	}
+	r.divEWMA = s.cfg.EWMAAlpha*d + (1-s.cfg.EWMAAlpha)*r.divEWMA
+}
+
+// observe folds one served request into a replica's health state and
+// advances the state machine. errored marks a request the replica failed
+// outright (a strike without an EWMA update — the partial latency of a
+// failed run says nothing about the replica's speed). It reports whether
+// this observation raised a new suspicion and whether it quarantined the
+// replica.
+func (s *Supervisor) observe(req uint64, r *replica, latSec float64, errored bool) (detected, quarantined bool) {
+	anomalous := errored
+	signal := "error"
+	if !errored {
+		if r.expected > 0 && latSec > 0 {
+			ratio := latSec / r.expected
+			r.latEWMA = s.cfg.EWMAAlpha*ratio + (1-s.cfg.EWMAAlpha)*r.latEWMA
+		}
+		r.samples++
+		if r.samples >= s.cfg.MinSamples && r.latEWMA > s.cfg.LatencyThreshold {
+			anomalous = true
+			signal = fmt.Sprintf("lat-ewma=%.3f", r.latEWMA)
+		}
+		if r.samples >= s.cfg.MinSamples && r.divEWMA > s.cfg.DivergenceThreshold {
+			anomalous = true
+			signal = fmt.Sprintf("div-ewma=%.3f", r.divEWMA)
+		}
+	}
+	switch {
+	case anomalous && (r.state == StateHealthy || r.state == StateReadmitted):
+		r.strikes = 1
+		s.transition(req, r, StateSuspect, signal)
+		detected = true
+	case anomalous && r.state == StateSuspect:
+		r.strikes++
+		if r.strikes >= s.cfg.SuspectConfirm {
+			r.quarantinedAt = req
+			r.quarantines++
+			s.transition(req, r, StateQuarantined, signal)
+			quarantined = true
+		}
+	case !anomalous && r.state == StateSuspect:
+		r.strikes = 0
+		s.transition(req, r, StateHealthy, "cleared")
+	case !anomalous && r.state == StateReadmitted:
+		s.transition(req, r, StateHealthy, "probation passed")
+	}
+	return detected, quarantined
+}
+
+// PoolStats are the fleet's cumulative counters.
+type PoolStats struct {
+	Requests     uint64
+	RoundRobin   uint64 // requests served by round-robin dispatch
+	QuorumServed uint64 // requests served by a quorum majority
+	NoMajority   uint64 // quorum requests with no strict majority
+	FP32Served   uint64 // requests served by the FP32 reference tier
+	ReplicaFails uint64 // replica attempts that errored outright
+
+	Detections     uint64 // healthy/readmitted → suspect transitions
+	Quarantines    uint64 // suspect → quarantined transitions
+	Rebuilds       uint64 // background rebuilds completed
+	CanaryFailures uint64 // rebuilds rejected by canary validation
+	Readmissions   uint64 // rebuilding → readmitted transitions
+}
+
+// PoolResult is one request served by the fleet.
+type PoolResult struct {
+	// Outputs are the winning replica's outputs (or the FP32
+	// reference's); nil for timed-only requests.
+	Outputs []*tensor.Tensor
+	// LatencySec is the request's modeled latency: the serving replica's
+	// run (plus failed predecessors under round-robin failover), the
+	// majority-confirmation time under quorum, or the FP32 path.
+	LatencySec float64
+	// Replica is the serving slot (-1 when the FP32 tier served).
+	Replica int
+	// BuildID of the serving replica's engine (-1 for FP32).
+	BuildID int
+	// Voters is how many replicas answered a quorum request.
+	Voters int
+	// Majority is the size of the agreeing majority (0 = none).
+	Majority int
+	// Fallback reports the FP32 reference tier served the request.
+	Fallback bool
+}
+
+// ReplicaHealth is one replica's view in the fleet health report.
+type ReplicaHealth struct {
+	Slot           int
+	BuildID        int
+	State          string
+	LatencyEWMA    float64
+	DivergenceEWMA float64
+	Samples        int
+	Quarantines    int
+	Rebuilds       int
+	Readmissions   int
+}
+
+// PoolHealth is the fleet's heartbeat view.
+type PoolHealth struct {
+	Model    string
+	Active   int // replicas currently in the dispatch set
+	Replicas []ReplicaHealth
+	// Transitions counts every supervisor state-machine edge taken,
+	// keyed "from->to".
+	Transitions map[string]uint64
+}
+
+// Pool is a self-healing fleet of engine replicas serving one model.
+// Safe for concurrent use; requests serialize on the pool lock so the
+// supervisor's transcript stays deterministic.
+type Pool struct {
+	cfg      PoolConfig
+	reg      *Registry
+	fallback *graph.Graph
+
+	mu    sync.Mutex
+	sup   *Supervisor
+	rr    int
+	stats PoolStats
+}
+
+// NewPool builds a replica fleet from the registry: K numeric proxy
+// replicas (replica 0 warms the shared timing cache, the rest diverge)
+// plus the pristine FP32 fallback graph.
+func NewPool(reg *Registry, cfg PoolConfig) (*Pool, error) {
+	if cfg.Model == "" {
+		return nil, fmt.Errorf("serve: pool config needs a model")
+	}
+	c := cfg.withDefaults()
+	if c.Device == nil {
+		c.Device = gpusim.NewDevice(reg.spec, gpusim.PaperLatencyClock(reg.spec))
+	}
+	engines, err := reg.ReplicaEngines(c.Model, c.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	fb, err := reg.Fallback(c.Model)
+	if err != nil {
+		return nil, err
+	}
+	sup := newSupervisor(c)
+	for slot, e := range engines {
+		r := &replica{
+			slot:     slot,
+			eng:      e,
+			expected: e.ExpectedLatencySec(c.Device, c.IncludeMemcpy),
+			latEWMA:  1,
+		}
+		if c.ReplicaInjector != nil {
+			r.inj = c.ReplicaInjector(slot, e)
+		}
+		sup.reps = append(sup.reps, r)
+	}
+	return &Pool{cfg: c, reg: reg, fallback: fb, sup: sup}, nil
+}
+
+// Stats returns a snapshot of the fleet counters.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Health returns the fleet's heartbeat view.
+func (p *Pool) Health() PoolHealth {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	h := PoolHealth{Model: p.cfg.Model, Transitions: p.sup.trans.Snapshot()}
+	for _, r := range p.sup.reps {
+		if r.activeState() {
+			h.Active++
+		}
+		h.Replicas = append(h.Replicas, ReplicaHealth{
+			Slot:           r.slot,
+			BuildID:        r.eng.BuildID,
+			State:          r.state.String(),
+			LatencyEWMA:    r.latEWMA,
+			DivergenceEWMA: r.divEWMA,
+			Samples:        r.samples,
+			Quarantines:    r.quarantines,
+			Rebuilds:       r.rebuilds,
+			Readmissions:   r.readmits,
+		})
+	}
+	return h
+}
+
+// Engines returns the current replica engines in slot order. Engines
+// are immutable; experiments use this to compare served outputs against
+// a replica's pristine Infer.
+func (p *Pool) Engines() []*core.Engine {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*core.Engine, len(p.sup.reps))
+	for i, r := range p.sup.reps {
+		out[i] = r.eng
+	}
+	return out
+}
+
+// Transcript returns a copy of the supervisor's transition log: one line
+// per state change, byte-identical across same-seed runs.
+func (p *Pool) Transcript() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.sup.transcript...)
+}
+
+// Do serves one request through the fleet: hedged quorum dispatch with
+// majority voting when cfg.Quorum is set, round-robin with failover
+// otherwise; the FP32 reference tier serves when no replica can. With
+// no injected faults the outputs are bit-identical to calling the
+// serving replica's Engine.Infer directly. An error is only possible
+// from the FP32 reference path itself (a configuration bug, not a
+// device fault).
+func (p *Pool) Do(x *tensor.Tensor, runIndex int) (*PoolResult, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Requests++
+	req := p.stats.Requests
+	p.advanceRebuilds(req)
+	if p.cfg.Quorum {
+		return p.serveQuorum(req, x, runIndex)
+	}
+	return p.serveRR(req, x, runIndex)
+}
+
+func (p *Pool) runCfg(runIndex int) core.RunConfig {
+	return core.RunConfig{
+		Device:        p.cfg.Device,
+		IncludeMemcpy: p.cfg.IncludeMemcpy,
+		RunIndex:      runIndex,
+	}
+}
+
+// serveRR dispatches to the next active replica in rotation, failing
+// over to each remaining active replica once (their burned latency
+// accumulates) and finally to the FP32 tier.
+func (p *Pool) serveRR(req uint64, x *tensor.Tensor, runIndex int) (*PoolResult, error) {
+	active := p.sup.active()
+	if len(active) == 0 {
+		return p.serveFP32(x, 0)
+	}
+	start := p.rr
+	p.rr++
+	var total float64
+	for i := 0; i < len(active); i++ {
+		r := active[(start+i)%len(active)]
+		if !r.activeState() {
+			// Quarantined by its own observation earlier this request.
+			continue
+		}
+		run, runErr := r.eng.RunFaulty(p.runCfg(runIndex), r.inj)
+		total += run.LatencySec
+		var outs []*tensor.Tensor
+		var inferErr error
+		if runErr == nil && x != nil {
+			outs, inferErr = r.eng.InferFaulty(x, r.inj)
+		}
+		errored := runErr != nil || inferErr != nil
+		p.countObservation(p.sup.observe(req, r, run.LatencySec, errored))
+		if errored {
+			p.stats.ReplicaFails++
+			continue
+		}
+		p.stats.RoundRobin++
+		return &PoolResult{
+			Outputs:    outs,
+			LatencySec: total,
+			Replica:    r.slot,
+			BuildID:    r.eng.BuildID,
+		}, nil
+	}
+	return p.serveFP32(x, total)
+}
+
+// vote is one replica's answer to a hedged quorum request.
+type vote struct {
+	r       *replica
+	lat     float64
+	outs    []*tensor.Tensor
+	arg     int
+	errored bool
+}
+
+// serveQuorum dispatches to every active replica, votes on the argmax
+// of the first output, and serves the lowest-slot member of the strict
+// majority. The request's latency is the majority-confirmation time:
+// the second-smallest latency among the majority (the moment a second
+// replica corroborates the answer). With no strict majority the FP32
+// reference serves, after the slowest voter has answered.
+func (p *Pool) serveQuorum(req uint64, x *tensor.Tensor, runIndex int) (*PoolResult, error) {
+	active := p.sup.active()
+	if len(active) == 0 {
+		return p.serveFP32(x, 0)
+	}
+	votes := make([]vote, 0, len(active))
+	var maxLat float64
+	for _, r := range active {
+		run, runErr := r.eng.RunFaulty(p.runCfg(runIndex), r.inj)
+		v := vote{r: r, lat: run.LatencySec, arg: -1, errored: runErr != nil}
+		if !v.errored && x != nil {
+			outs, err := r.eng.InferFaulty(x, r.inj)
+			if err != nil || len(outs) == 0 {
+				v.errored = true
+			} else {
+				v.outs = outs
+				v.arg = argmax(outs[0])
+			}
+		}
+		if v.errored {
+			p.stats.ReplicaFails++
+		} else if v.lat > maxLat {
+			maxLat = v.lat
+		}
+		votes = append(votes, v)
+	}
+
+	voters := make([]vote, 0, len(votes))
+	for _, v := range votes {
+		if !v.errored {
+			voters = append(voters, v)
+		}
+	}
+
+	// Find the strict majority answer. With no numeric payload every
+	// voter implicitly agrees (hedging without voting). At most one
+	// argmax can hold a strict majority, so first-found is the answer.
+	majArg, majority := -1, []vote(nil)
+	if x == nil {
+		majority = voters
+	} else {
+		for _, v := range voters {
+			n := 0
+			for _, w := range voters {
+				if w.arg == v.arg {
+					n++
+				}
+			}
+			if 2*n > len(voters) {
+				majArg = v.arg
+				for _, w := range voters {
+					if w.arg == majArg {
+						majority = append(majority, w)
+					}
+				}
+				break
+			}
+		}
+	}
+
+	// Fold the divergence signal and advance every replica's state
+	// machine, in slot order. Disagreement is measured against the
+	// majority when one exists, else against the FP32 reference below.
+	var refArg int = -1
+	var refOuts []*tensor.Tensor
+	if x != nil && majArg < 0 && len(voters) > 0 {
+		outs, err := core.UnoptimizedInfer(p.fallback, x)
+		if err == nil && len(outs) > 0 {
+			refOuts = outs
+			refArg = argmax(outs[0])
+		}
+	}
+	for i := range votes {
+		v := &votes[i]
+		if !v.errored && x != nil {
+			switch {
+			case majArg >= 0:
+				p.sup.noteDivergence(v.r, v.arg != majArg)
+			case refArg >= 0:
+				p.sup.noteDivergence(v.r, v.arg != refArg)
+			}
+		}
+		p.countObservation(p.sup.observe(req, v.r, v.lat, v.errored))
+	}
+
+	if len(majority) == 0 {
+		p.stats.NoMajority++
+		// The hedge failed: the fallback starts once the slowest voter
+		// has answered.
+		res, err := p.serveFP32(x, maxLat)
+		if err == nil && res.Outputs == nil && refOuts != nil {
+			res.Outputs = refOuts
+		}
+		if err == nil {
+			res.Voters = len(voters)
+		}
+		return res, err
+	}
+
+	// Winner: the lowest slot in the majority (voters are in slot
+	// order). Released at the majority-confirmation time.
+	winner := majority[0]
+	lats := make([]float64, len(majority))
+	for i, v := range majority {
+		lats[i] = v.lat
+	}
+	sort.Float64s(lats)
+	release := lats[0]
+	if len(lats) > 1 {
+		release = lats[1]
+	}
+	p.stats.QuorumServed++
+	return &PoolResult{
+		Outputs:    winner.outs,
+		LatencySec: release,
+		Replica:    winner.r.slot,
+		BuildID:    winner.r.eng.BuildID,
+		Voters:     len(voters),
+		Majority:   len(majority),
+	}, nil
+}
+
+// serveFP32 is the terminal tier: the un-optimized host path, outside
+// the replica fault domain. baseLat is latency already burned upstream.
+func (p *Pool) serveFP32(x *tensor.Tensor, baseLat float64) (*PoolResult, error) {
+	res := &PoolResult{
+		LatencySec: baseLat + core.UnoptimizedRun(p.fallback, p.cfg.Device),
+		Replica:    -1,
+		BuildID:    -1,
+		Fallback:   true,
+	}
+	if x != nil {
+		outs, err := core.UnoptimizedInfer(p.fallback, x)
+		if err != nil {
+			return nil, fmt.Errorf("serve: pool FP32 fallback: %w", err)
+		}
+		res.Outputs = outs
+	}
+	p.stats.FP32Served++
+	return res, nil
+}
+
+func (p *Pool) countObservation(detected, quarantined bool) {
+	if detected {
+		p.stats.Detections++
+	}
+	if quarantined {
+		p.stats.Quarantines++
+	}
+}
+
+// advanceRebuilds is the deterministic model of background healing: a
+// quarantined replica's rebuild lands RebuildDelay requests after the
+// quarantine. The rebuild goes through the registry — warm against the
+// shared timing cache, so the replacement engine is canonical (build id
+// 0, identical plan bytes) — then must pass canary validation against
+// the FP32 reference before readmission.
+func (p *Pool) advanceRebuilds(req uint64) {
+	for _, r := range p.sup.reps {
+		if r.state != StateQuarantined || req < r.quarantinedAt+uint64(p.cfg.RebuildDelay) {
+			continue
+		}
+		p.sup.transition(req, r, StateRebuilding, fmt.Sprintf("rebuild after %d quarantined requests", p.cfg.RebuildDelay))
+		e, err := p.reg.Rebuild(p.cfg.Model)
+		if err != nil {
+			p.sup.transition(req, r, StateQuarantined, "rebuild failed: "+err.Error())
+			r.quarantinedAt = req
+			continue
+		}
+		r.eng = e
+		r.inj = nil
+		if p.cfg.ReplicaInjector != nil {
+			r.inj = p.cfg.ReplicaInjector(r.slot, e)
+		}
+		r.expected = e.ExpectedLatencySec(p.cfg.Device, p.cfg.IncludeMemcpy)
+		r.rebuilds++
+		p.stats.Rebuilds++
+		agree, total := p.canary(r)
+		if total > 0 && float64(agree) < p.cfg.CanaryAgreeFrac*float64(total) {
+			p.stats.CanaryFailures++
+			p.sup.transition(req, r, StateQuarantined, fmt.Sprintf("canary %d/%d below threshold", agree, total))
+			r.quarantinedAt = req
+			continue
+		}
+		r.latEWMA, r.divEWMA = 1, 0
+		r.samples, r.strikes = 0, 0
+		r.readmits++
+		p.stats.Readmissions++
+		p.sup.transition(req, r, StateReadmitted, fmt.Sprintf("canary %d/%d", agree, total))
+	}
+}
+
+// canary validates a rebuilt replica exactly as it will serve (its own
+// injector included) against the FP32 reference.
+func (p *Pool) canary(r *replica) (agree, total int) {
+	for _, x := range p.cfg.Canary {
+		ref, err := core.UnoptimizedInfer(p.fallback, x)
+		if err != nil || len(ref) == 0 {
+			continue // reference path broken for this input: not the replica's fault
+		}
+		total++
+		outs, err := r.eng.InferFaulty(x, r.inj)
+		if err != nil || len(outs) == 0 {
+			continue
+		}
+		if argmax(outs[0]) == argmax(ref[0]) {
+			agree++
+		}
+	}
+	return agree, total
+}
+
+// argmax returns the index of the largest element (lowest index wins
+// ties), or -1 for an empty tensor.
+func argmax(t *tensor.Tensor) int {
+	if t == nil || len(t.Data) == 0 {
+		return -1
+	}
+	best := 0
+	for i, v := range t.Data {
+		if v > t.Data[best] {
+			best = i
+		}
+	}
+	return best
+}

@@ -87,6 +87,51 @@ func (r *Registry) Rebuild(model string) (*core.Engine, error) {
 	return r.ProxyEngine(model)
 }
 
+// ReplicaEngines builds a fleet of k numeric proxy replicas of one
+// model. Replica 0 is built against the shared timing cache — its cold
+// build populates the cache, so every later Rebuild of the model is warm
+// and canonical. Replicas 1..k-1 are built cold with distinct build ids
+// and no cache, so tuner measurement noise makes them genuinely diverge
+// (paper Findings 2 and 6): same model, same platform, different tactic
+// choices — the per-replica disagreement a quorum dispatcher votes away.
+// Replica fleets are not memoized; each call builds fresh engines.
+func (r *Registry) ReplicaEngines(model string, k int) ([]*core.Engine, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("serve: replica fleet of %s needs k >= 1, got %d", model, k)
+	}
+	g, err := models.BuildProxy(model, models.DefaultProxyOptions())
+	if err != nil {
+		return nil, fmt.Errorf("serve: registry replica model %s: %w", model, err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fleet := make([]*core.Engine, 0, k)
+	for slot := 0; slot < k; slot++ {
+		cfg := core.DefaultConfig(r.spec, r.nextBuild)
+		if slot == 0 {
+			cfg.TimingCache = r.cache
+			cfg.CanonicalWarmID = true
+		}
+		e, err := core.Build(g, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("serve: registry replica %d of %s: %w", slot, model, err)
+		}
+		r.nextBuild++
+		if rep := e.Report; rep != nil {
+			if rep.WarmBuild {
+				r.stats.WarmBuilds++
+			} else {
+				r.stats.ColdBuilds++
+			}
+			r.stats.CacheHits += rep.CacheHits
+			r.stats.CacheMisses += rep.CacheMisses
+			r.stats.TuneCostSec += rep.TuneCostSec
+		}
+		fleet = append(fleet, e)
+	}
+	return fleet, nil
+}
+
 func (r *Registry) engine(key, model string, proxy bool) (*core.Engine, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()

@@ -139,14 +139,17 @@ type Result struct {
 
 // Stats are the executor's cumulative degradation counters.
 type Stats struct {
-	Requests        uint64
-	Retries         uint64
-	DeadlineMisses  uint64
-	AllocRejects    uint64
-	TierServed      [numTiers]uint64
-	BreakerTrips    uint64
-	BreakerSkips    uint64 // requests that short-circuited the open breaker
-	TierFailures    [numTiers]uint64
+	Requests       uint64
+	Retries        uint64
+	DeadlineMisses uint64
+	AllocRejects   uint64
+	TierServed     [numTiers]uint64
+	BreakerTrips   uint64
+	BreakerSkips   uint64 // requests that short-circuited the open breaker
+	TierFailures   [numTiers]uint64
+	// BackoffClamps counts retry backoffs truncated because the full
+	// jittered wait would have overshot the request deadline.
+	BackoffClamps uint64
 }
 
 // Health is the executor's heartbeat view.
@@ -366,7 +369,22 @@ func (ex *Executor) tryTier(eng *core.Engine, tier Tier, x *tensor.Tensor, runIn
 		if attempt > 0 {
 			res.Retries++
 			ex.count(func(s *Stats) { s.Retries++ })
-			res.LatencySec += ex.backoff(attempt)
+			wait := ex.backoff(attempt)
+			// The modeled wait must not accumulate past the request
+			// deadline: sleeping beyond the remaining budget cannot help
+			// the request, it only inflates the recorded miss. Clamp the
+			// wait to what is left (the backoff-jitter stream still
+			// advances, so clamping never perturbs later requests).
+			if ex.cfg.DeadlineSec > 0 {
+				if remain := ex.cfg.DeadlineSec - res.LatencySec; wait > remain {
+					if remain < 0 {
+						remain = 0
+					}
+					wait = remain
+					ex.count(func(s *Stats) { s.BackoffClamps++ })
+				}
+			}
+			res.LatencySec += wait
 			if ex.deadlineExceeded(res) {
 				return false
 			}

@@ -342,6 +342,55 @@ func TestConcurrentRequests(t *testing.T) {
 	}
 }
 
+// Retry backoff must not accumulate past the request deadline: the
+// modeled wait is clamped to the remaining budget (and the clamp is
+// counted), so a deadlined request's latency is bounded by the deadline
+// plus real attempt/fallback work — never deadline plus a full
+// exponential backoff ladder (issue bug fix).
+func TestBackoffClampedByDeadline(t *testing.T) {
+	_, g, dev, _ := fixture(t)
+	const deadline = 0.5e-3
+	mk := func(dl float64) *serve.Executor {
+		return newExec(t, faults.Plan{Seed: "clamp", LaunchFailRate: 1}.New("nx"),
+			func(c *serve.Config) {
+				c.DeadlineSec = dl
+				c.MaxRetries = 4
+				c.BackoffBaseSec = 2e-3 // the first backoff alone overshoots the deadline
+			})
+	}
+	clamped := mk(deadline)
+	res, err := clamped.Do(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := clamped.Stats(); st.BackoffClamps == 0 {
+		t.Fatalf("no backoff clamps recorded: %+v", st)
+	}
+	// Bound: deadline + the burned time of failed attempts (each dies at
+	// its first launch, microseconds) + the FP32 fallback's serve cost.
+	bound := deadline + core.UnoptimizedRun(g, dev) + 0.3e-3
+	if res.LatencySec > bound {
+		t.Fatalf("latency %.6fs exceeds %.6fs: backoff accumulated past the deadline", res.LatencySec, bound)
+	}
+	if !res.DeadlineMiss {
+		t.Fatal("deadline miss not recorded")
+	}
+
+	// Without a deadline the same fault sequence pays the full ladder,
+	// and the clamp counter must stay untouched.
+	free := mk(0)
+	res2, err := free.Do(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.LatencySec <= res.LatencySec {
+		t.Fatalf("unclamped latency %.6fs not above clamped %.6fs", res2.LatencySec, res.LatencySec)
+	}
+	if free.Stats().BackoffClamps != 0 {
+		t.Fatal("clamp counted with no deadline configured")
+	}
+}
+
 func TestConfigValidation(t *testing.T) {
 	eng, g, dev, _ := fixture(t)
 	for _, cfg := range []serve.Config{
