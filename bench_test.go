@@ -20,6 +20,7 @@ import (
 	"edgeinfer/internal/gpusim"
 	"edgeinfer/internal/metrics"
 	"edgeinfer/internal/models"
+	"edgeinfer/internal/tensor"
 )
 
 // benchOpts keeps numeric experiments tractable under -bench.
@@ -321,6 +322,33 @@ func BenchmarkNumericInference(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := e.Infer(img); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInferBatch times the layer-major batched inference path on
+// the same engine as BenchmarkNumericInference; divide ns/op by the
+// batch size to compare per-image cost against the per-image path.
+func BenchmarkInferBatch(b *testing.B) {
+	proxy, err := models.BuildProxy("vgg16", models.DefaultProxyOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := core.Build(proxy, core.DefaultConfig(gpusim.XavierNX(), 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batch = 8
+	set := dataset.Benign(dataset.DefaultBenign(1))
+	xs := make([]*tensor.Tensor, batch)
+	for i := range xs {
+		xs[i] = set[i%len(set)].Image
+	}
+	b.ReportMetric(batch, "images/op")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.InferBatch(xs); err != nil {
 			b.Fatal(err)
 		}
 	}

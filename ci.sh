@@ -5,17 +5,21 @@
 # caches), the shared-timing-cache fleet-convergence audit (warm rebuilds
 # must be byte-identical), the chaos smoke (a short replica-fleet soak
 # that must show zero wrong-answer escapes and zero leaked quarantines),
-# and the rtlint static-analysis suite — source analyzers over the
+# the rtlint static-analysis suite — source analyzers over the
 # module, then static plan-IR verification of every classifier engine
-# the results are generated from. Run from the repo root.
+# the results are generated from — and a benchmark smoke over the hot
+# numeric paths, archived as BENCH_numeric.json so ns/op and allocs/op
+# regressions are diffable across commits. Run from the repo root.
 set -eux
 
 go vet ./...
 go build ./...
-go test -race ./...
+go test -race -timeout 20m ./...
 go test -run='^$' -fuzz='^FuzzLoad$' -fuzztime=10s ./internal/core
 go test -run='^$' -fuzz='^FuzzLoadTimingCache$' -fuzztime=5s ./internal/core
 go run ./cmd/fleetcheck -model resnet18 -sharedCache
 go run ./cmd/chaosbench -smoke -requests 30 -out ''
 go run ./cmd/rtlint ./...
 go run ./cmd/rtlint -plancheck
+go test -run='^$' -bench='^(BenchmarkNumericInference|BenchmarkEngineBuild|BenchmarkInferBatch)$' \
+  -benchmem -benchtime=1x . | go run ./cmd/benchjson -out BENCH_numeric.json

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"sync"
+
+	"edgeinfer/internal/tensor"
+)
+
+// tensorArena is a shape-keyed free list of activation buffers. Repeated
+// inference through an engine allocates the same ladder of intermediate
+// tensor shapes every time; recycling them removes nearly all steady-state
+// GC churn from Engine.Infer. Buffers come back from get with stale
+// contents — every consumer (ExecConvInto/ExecFCInto, the fake-quant
+// copy) overwrites every element.
+//
+// The arena is safe for concurrent use: get removes a buffer from the
+// free list before handing it out, so two inferences running on the same
+// engine never share a buffer.
+type tensorArena struct {
+	mu   sync.Mutex
+	free map[[4]int][]*tensor.Tensor
+}
+
+// arenaMaxPerShape caps how many idle buffers of one shape the arena
+// retains, bounding resident memory under concurrent inference bursts.
+const arenaMaxPerShape = 8
+
+func newTensorArena() *tensorArena {
+	return &tensorArena{free: map[[4]int][]*tensor.Tensor{}}
+}
+
+// get returns a buffer of the given shape, recycled if one is free.
+func (a *tensorArena) get(n, c, h, w int) *tensor.Tensor {
+	if a == nil {
+		return tensor.New(n, c, h, w)
+	}
+	k := [4]int{n, c, h, w}
+	a.mu.Lock()
+	if ts := a.free[k]; len(ts) > 0 {
+		t := ts[len(ts)-1]
+		ts[len(ts)-1] = nil
+		a.free[k] = ts[:len(ts)-1]
+		a.mu.Unlock()
+		return t
+	}
+	a.mu.Unlock()
+	return tensor.New(n, c, h, w)
+}
+
+// put returns a buffer to the free list. The caller must not retain any
+// reference to t afterwards.
+func (a *tensorArena) put(t *tensor.Tensor) {
+	if a == nil || t == nil {
+		return
+	}
+	k := [4]int{t.N, t.C, t.H, t.W}
+	a.mu.Lock()
+	if len(a.free[k]) < arenaMaxPerShape {
+		a.free[k] = append(a.free[k], t)
+	}
+	a.mu.Unlock()
+}
+
+// releaseActs returns every arena-owned intermediate of one inference,
+// keeping the graph outputs (which the caller now owns) and the caller's
+// input. Pass-through layers (dropout, single-input add) alias earlier
+// activations, so buffers are deduplicated by pointer before release.
+func (a *tensorArena) releaseActs(owned []*tensor.Tensor, keep map[*tensor.Tensor]bool) {
+	seen := make(map[*tensor.Tensor]bool, len(owned))
+	for _, t := range owned {
+		if t == nil || keep[t] || seen[t] {
+			continue
+		}
+		seen[t] = true
+		a.put(t)
+	}
+}

@@ -120,7 +120,20 @@ func (e *Engine) InferFaulty(x *tensor.Tensor, fi FaultInjector) ([]*tensor.Tens
 		return nil, fmt.Errorf("core: engine %s is timing-only (no weights materialized)", e.Key())
 	}
 	g := e.Graph
-	acts := map[string]*tensor.Tensor{}
+	ar := e.bufArena()
+	acts := make(map[string]*tensor.Tensor, len(g.Layers))
+	// Every non-input activation is recycled through the arena once the
+	// inference ends — except the graph outputs (the caller owns those)
+	// and anything aliasing the caller's input.
+	owned := make([]*tensor.Tensor, 0, len(g.Layers))
+	defer func() {
+		keep := make(map[*tensor.Tensor]bool, len(g.Outputs)+1)
+		keep[x] = true
+		for _, name := range g.Outputs {
+			keep[acts[name]] = true
+		}
+		ar.releaseActs(owned, keep)
+	}()
 	for i, l := range g.Layers {
 		if fi != nil && l.Op != graph.OpInput {
 			if lf := fi.Launch(i, l.Name); lf.Fail {
@@ -133,9 +146,9 @@ func (e *Engine) InferFaulty(x *tensor.Tensor, fi FaultInjector) ([]*tensor.Tens
 		case l.Op == graph.OpInput:
 			y = x
 		case l.Op == graph.OpConv:
-			y, err = e.inferConv(l, acts, fi)
+			y, err = e.inferConv(l, acts, fi, ar)
 		case l.Op == graph.OpFC:
-			y, err = e.inferFC(l, acts, fi)
+			y, err = e.inferFC(l, acts, fi, ar)
 		default:
 			ins := make([]*tensor.Tensor, len(l.Inputs))
 			for i, name := range l.Inputs {
@@ -152,6 +165,9 @@ func (e *Engine) InferFaulty(x *tensor.Tensor, fi FaultInjector) ([]*tensor.Tens
 			fi.CorruptActivation(l.Name, y)
 		}
 		acts[l.Name] = y
+		if l.Op != graph.OpInput {
+			owned = append(owned, y)
+		}
 	}
 	outs := make([]*tensor.Tensor, len(g.Outputs))
 	for i, name := range g.Outputs {

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+
+	"edgeinfer/internal/graph"
+	"edgeinfer/internal/tensor"
+)
+
+// Batched numeric inference. InferBatch pipelines the layer plan across a
+// batch of images: layers run in plan order, and within each layer every
+// image executes back to back — the software analogue of one batched
+// kernel launch. That keeps each layer's weights hot in cache across the
+// whole batch, resolves kernel variants and fusion metadata once per
+// layer instead of once per image, and (on the fault path) draws launch
+// and weight-corruption verdicts once per layer, the way a single batched
+// launch would fail or corrupt.
+//
+// Per-image numerics are untouched: each image's activations flow through
+// the exact same convApply/fcApply/EvalLayer calls Infer performs, so on
+// a pristine device InferBatch(xs)[i] is bit-identical to Infer(xs[i]).
+
+// InferBatch runs the engine numerically on a batch of inputs and
+// returns one output slice per input, in input order. It is
+// InferBatchFaulty on a pristine device.
+func (e *Engine) InferBatch(xs []*tensor.Tensor) ([][]*tensor.Tensor, error) {
+	return e.InferBatchFaulty(xs, nil)
+}
+
+// InferBatchFaulty is InferBatch consulting a fault injector. Unlike the
+// per-image path, the injector is consulted once per layer — one Launch
+// verdict and one weight-corruption draw cover the whole batch, modeling
+// one batched kernel launch — while activation corruption still applies
+// per image (each image's activation is a distinct tensor).
+func (e *Engine) InferBatchFaulty(xs []*tensor.Tensor, fi FaultInjector) ([][]*tensor.Tensor, error) {
+	if !e.Numeric {
+		return nil, fmt.Errorf("core: engine %s is timing-only (no weights materialized)", e.Key())
+	}
+	if len(xs) == 0 {
+		return nil, nil
+	}
+	for i, x := range xs {
+		if x == nil {
+			return nil, fmt.Errorf("core: infer batch %s: input %d is nil", e.Key(), i)
+		}
+	}
+	g := e.Graph
+	ar := e.bufArena()
+	acts := make([]map[string]*tensor.Tensor, len(xs))
+	for i := range acts {
+		acts[i] = make(map[string]*tensor.Tensor, len(g.Layers))
+	}
+	owned := make([]*tensor.Tensor, 0, len(g.Layers)*len(xs))
+	defer func() {
+		keep := make(map[*tensor.Tensor]bool, len(xs)*(len(g.Outputs)+1))
+		for _, x := range xs {
+			keep[x] = true
+		}
+		for _, am := range acts {
+			for _, name := range g.Outputs {
+				keep[am[name]] = true
+			}
+		}
+		ar.releaseActs(owned, keep)
+	}()
+	for li, l := range g.Layers {
+		if fi != nil && l.Op != graph.OpInput {
+			if lf := fi.Launch(li, l.Name); lf.Fail {
+				return nil, fmt.Errorf("core: infer %s layer %s: %w", e.Key(), l.Name, ErrLaunchFailed)
+			}
+		}
+		isConv := l.Op == graph.OpConv
+		isFC := l.Op == graph.OpFC
+		var w, b *tensor.Tensor
+		if isConv || isFC {
+			w, b = l.Weights["w"], l.Weights["b"]
+			if w == nil {
+				kind := "conv"
+				if isFC {
+					kind = "fc"
+				}
+				return nil, fmt.Errorf("core: infer %s layer %s: %s %s has no weights", e.Key(), l.Name, kind, l.Name)
+			}
+			if fi != nil {
+				w = fi.CorruptWeights(l.Name, "w", w)
+			}
+		}
+		for img, x := range xs {
+			var y *tensor.Tensor
+			var err error
+			switch {
+			case l.Op == graph.OpInput:
+				y = x
+			case isConv:
+				y, err = e.convApply(l, acts[img], w, b, ar)
+			case isFC:
+				y, err = e.fcApply(l, acts[img], w, b, ar)
+			default:
+				ins := make([]*tensor.Tensor, len(l.Inputs))
+				for i, name := range l.Inputs {
+					ins[i] = acts[img][name]
+				}
+				y, err = graph.EvalLayer(l, ins)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("core: infer %s layer %s: %w", e.Key(), l.Name, err)
+			}
+			if fi != nil && l.Op != graph.OpInput && y != x {
+				fi.CorruptActivation(l.Name, y)
+			}
+			acts[img][l.Name] = y
+			if l.Op != graph.OpInput {
+				owned = append(owned, y)
+			}
+		}
+	}
+	outs := make([][]*tensor.Tensor, len(xs))
+	for img := range xs {
+		outs[img] = make([]*tensor.Tensor, len(g.Outputs))
+		for i, name := range g.Outputs {
+			outs[img][i] = acts[img][name]
+		}
+	}
+	return outs, nil
+}

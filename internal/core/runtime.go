@@ -156,8 +156,10 @@ func (e *Engine) Infer(x *tensor.Tensor) ([]*tensor.Tensor, error) {
 	return e.InferFaulty(x, nil)
 }
 
-func (e *Engine) inferConv(l *graph.Layer, acts map[string]*tensor.Tensor, fi FaultInjector) (*tensor.Tensor, error) {
-	in := e.quantInput(l.Inputs[0], acts)
+// inferConv executes a conv layer for one image, drawing weight
+// corruption from the injector. The batch path corrupts once per layer
+// and calls convApply directly.
+func (e *Engine) inferConv(l *graph.Layer, acts map[string]*tensor.Tensor, fi FaultInjector, ar *tensorArena) (*tensor.Tensor, error) {
 	w, b := l.Weights["w"], l.Weights["b"]
 	if w == nil {
 		return nil, fmt.Errorf("conv %s has no weights", l.Name)
@@ -165,6 +167,15 @@ func (e *Engine) inferConv(l *graph.Layer, acts map[string]*tensor.Tensor, fi Fa
 	if fi != nil {
 		w = fi.CorruptWeights(l.Name, "w", w)
 	}
+	return e.convApply(l, acts, w, b, ar)
+}
+
+// convApply runs a conv layer with already-resolved (possibly corrupted)
+// weights. The output and the INT8 fake-quant copy come from the arena;
+// the quant copy goes back as soon as the kernel has consumed it.
+func (e *Engine) convApply(l *graph.Layer, acts map[string]*tensor.Tensor, w, b *tensor.Tensor, ar *tensorArena) (*tensor.Tensor, error) {
+	src := acts[l.Inputs[0]]
+	in := e.quantInput(l.Inputs[0], acts, ar)
 	v, ok := e.Choices[l.Name]
 	if !ok {
 		v = kernels.UnoptimizedConv()
@@ -174,15 +185,45 @@ func (e *Engine) inferConv(l *graph.Layer, acts map[string]*tensor.Tensor, fi Fa
 	// are applied after (still one launch — epilogue code).
 	execV := v
 	execV.FusedAct = f.Act == ActReLU
-	y, err := kernels.ExecConv(execV, in, w, b, l.Conv)
+	var y *tensor.Tensor
+	var err error
+	if oh, ow, ok := convOutShape(in, l.Conv); ok {
+		y = ar.get(in.N, l.Conv.OutC, oh, ow)
+		if err = kernels.ExecConvInto(execV, in, w, b, l.Conv, y); err != nil {
+			ar.put(y)
+			y = nil
+		}
+	} else {
+		// Degenerate geometry: let the validating path produce the
+		// canonical error (it cannot succeed).
+		y, err = kernels.ExecConv(execV, in, w, b, l.Conv)
+	}
+	if in != src {
+		ar.put(in)
+	}
 	if err != nil {
 		return nil, err
 	}
-	return applyEpilogue(y, f), nil
+	out := applyEpilogue(y, f)
+	if out != y {
+		ar.put(y)
+	}
+	return out, nil
 }
 
-func (e *Engine) inferFC(l *graph.Layer, acts map[string]*tensor.Tensor, fi FaultInjector) (*tensor.Tensor, error) {
-	in := e.quantInput(l.Inputs[0], acts)
+// convOutShape sizes a conv output, reporting false for degenerate
+// parameters (which the exec path rejects with the canonical error).
+func convOutShape(in *tensor.Tensor, p tensor.ConvParams) (oh, ow int, ok bool) {
+	if in == nil || p.Kernel < 1 || p.Stride < 1 || p.Pad < 0 || p.OutC < 1 {
+		return 0, 0, false
+	}
+	oh = tensor.ConvOutDim(in.H, p.Kernel, p.Stride, p.Pad)
+	ow = tensor.ConvOutDim(in.W, p.Kernel, p.Stride, p.Pad)
+	return oh, ow, oh >= 1 && ow >= 1
+}
+
+// inferFC executes an FC layer for one image; see inferConv.
+func (e *Engine) inferFC(l *graph.Layer, acts map[string]*tensor.Tensor, fi FaultInjector, ar *tensorArena) (*tensor.Tensor, error) {
 	w, b := l.Weights["w"], l.Weights["b"]
 	if w == nil {
 		return nil, fmt.Errorf("fc %s has no weights", l.Name)
@@ -190,6 +231,13 @@ func (e *Engine) inferFC(l *graph.Layer, acts map[string]*tensor.Tensor, fi Faul
 	if fi != nil {
 		w = fi.CorruptWeights(l.Name, "w", w)
 	}
+	return e.fcApply(l, acts, w, b, ar)
+}
+
+// fcApply runs an FC layer with already-resolved weights; see convApply.
+func (e *Engine) fcApply(l *graph.Layer, acts map[string]*tensor.Tensor, w, b *tensor.Tensor, ar *tensorArena) (*tensor.Tensor, error) {
+	src := acts[l.Inputs[0]]
+	in := e.quantInput(l.Inputs[0], acts, ar)
 	v, ok := e.Choices[l.Name]
 	if !ok {
 		v = kernels.Variant{Family: kernels.FamGEMM, TileM: 128, TileN: 64, TileK: 32, Precision: tensor.FP32}
@@ -197,21 +245,49 @@ func (e *Engine) inferFC(l *graph.Layer, acts map[string]*tensor.Tensor, fi Faul
 	f := e.Fusions[l.Name]
 	execV := v
 	execV.FusedAct = f.Act == ActReLU
-	y, err := kernels.ExecFC(execV, in, w, b, l.OutUnits)
+	var y *tensor.Tensor
+	var err error
+	if in != nil && l.OutUnits >= 1 {
+		y = ar.get(in.N, l.OutUnits, 1, 1)
+		if err = kernels.ExecFCInto(execV, in, w, b, l.OutUnits, y); err != nil {
+			ar.put(y)
+			y = nil
+		}
+	} else {
+		y, err = kernels.ExecFC(execV, in, w, b, l.OutUnits)
+	}
+	if in != src {
+		ar.put(in)
+	}
 	if err != nil {
 		return nil, err
 	}
-	return applyEpilogue(y, f), nil
+	out := applyEpilogue(y, f)
+	if out != y {
+		ar.put(y)
+	}
+	return out, nil
 }
 
 // quantInput applies INT8 fake-quantization to a kernel's input
-// activation using the calibrated range of its producer layer.
-func (e *Engine) quantInput(producer string, acts map[string]*tensor.Tensor) *tensor.Tensor {
+// activation using the calibrated range of its producer layer. The
+// quantized copy is drawn from the arena (every element is overwritten);
+// the caller releases it once the kernel has consumed it.
+func (e *Engine) quantInput(producer string, acts map[string]*tensor.Tensor, ar *tensorArena) *tensor.Tensor {
 	in := acts[producer]
-	if e.Precision != tensor.INT8 || e.Int8Ranges == nil {
+	if e.Precision != tensor.INT8 || e.Int8Ranges == nil || in == nil {
 		return in
 	}
-	return fakeQuantActivation(in, e.Int8Ranges[producer])
+	rangeMax := e.Int8Ranges[producer]
+	if rangeMax <= 0 {
+		return in
+	}
+	scale := rangeMax / 127
+	out := ar.get(in.N, in.C, in.H, in.W)
+	for i, v := range in.Data {
+		out.Data[i] = tensor.DequantizeINT8(tensor.QuantizeINT8(v, scale), scale)
+	}
+	return out
 }
 
 // applyEpilogue applies non-ReLU fused activations.

@@ -29,18 +29,19 @@ func (l *Lab) Table3() []Table3Row {
 	for i, s := range set {
 		images[i], labels[i] = s.Image, s.Label
 	}
-	var out []Table3Row
-	for _, m := range classifierModels {
+	out := make([]Table3Row, len(classifierModels))
+	l.fanModels(len(classifierModels), func(mi int) {
+		m := classifierModels[mi]
 		agx := l.classify("t3/"+m+"/agx", l.proxyEngine(m, "AGX", 1), images)
 		nx := l.classify("t3/"+m+"/nx", l.proxyEngine(m, "NX", 1), images)
 		un := l.classifyUnopt("t3/"+m+"/unopt", m, images)
-		out = append(out, Table3Row{
+		out[mi] = Table3Row{
 			Model:      m,
 			AGXError:   metrics.Top1Error(agx, labels),
 			NXError:    metrics.Top1Error(nx, labels),
 			UnoptError: metrics.Top1Error(un, labels),
-		})
-	}
+		}
+	})
 	return out
 }
 
@@ -82,24 +83,26 @@ func (l *Lab) Table4() []Table4Row {
 		}
 		return p, lb
 	}
-	var out []Table4Row
-	for _, m := range classifierModels {
+	sevs := []int{1, 5}
+	out := make([]Table4Row, len(classifierModels)*len(sevs))
+	l.fanModels(len(classifierModels), func(mi int) {
+		m := classifierModels[mi]
 		agx := l.classify("t4/"+m+"/agx", l.proxyEngine(m, "AGX", 1), images)
 		nx := l.classify("t4/"+m+"/nx", l.proxyEngine(m, "NX", 1), images)
 		un := l.classifyUnopt("t4/"+m+"/unopt", m, images)
-		for _, sev := range []int{1, 5} {
+		for si, sev := range sevs {
 			idx := bySev[sev]
 			pa, la := sub(agx, idx)
 			pn, ln := sub(nx, idx)
 			pu, lu := sub(un, idx)
-			out = append(out, Table4Row{
+			out[mi*len(sevs)+si] = Table4Row{
 				Model: m, Severity: sev,
 				AGXError:   metrics.Top1Error(pa, la),
 				NXError:    metrics.Top1Error(pn, ln),
 				UnoptError: metrics.Top1Error(pu, lu),
-			})
+			}
 		}
-	}
+	})
 	return out
 }
 
@@ -141,8 +144,9 @@ func (l *Lab) Table5() []Table5Row {
 	if n > 3 {
 		n = 3
 	}
-	var out []Table5Row
-	for _, m := range consistencyModels {
+	out := make([]Table5Row, len(consistencyModels))
+	l.fanModels(len(consistencyModels), func(mi int) {
+		m := consistencyModels[mi]
 		var row Table5Row
 		row.Model = m
 		row.Total = len(images)
@@ -156,8 +160,8 @@ func (l *Lab) Table5() []Table5Row {
 				row.Mismatches[i][j] = metrics.Mismatches(nxPreds[i], agxPreds[j])
 			}
 		}
-		out = append(out, row)
-	}
+		out[mi] = row
+	})
 	return out
 }
 
@@ -198,21 +202,22 @@ func (l *Lab) Table6() []Table6Row {
 	cases := []struct{ platform, model string }{
 		{"NX", "resnet18"}, {"AGX", "vgg16"}, {"AGX", "inceptionv4"}, {"AGX", "resnet18"},
 	}
-	var out []Table6Row
-	for _, c := range cases {
+	out := make([]Table6Row, len(cases))
+	l.fanModels(len(cases), func(ci int) {
+		c := cases[ci]
 		var preds [3][]int
 		for i := 0; i < 3; i++ {
 			preds[i] = l.classify(fmt.Sprintf("cons/%s/%s%d", c.model, map[string]string{"NX": "nx", "AGX": "agx"}[c.platform], i+1),
 				l.proxyEngine(c.model, c.platform, i+1), images)
 		}
-		out = append(out, Table6Row{
+		out[ci] = Table6Row{
 			Platform: c.platform, Model: c.model,
 			M12:   metrics.Mismatches(preds[0], preds[1]),
 			M23:   metrics.Mismatches(preds[1], preds[2]),
 			M13:   metrics.Mismatches(preds[0], preds[2]),
 			Total: len(images),
-		})
-	}
+		}
+	})
 	return out
 }
 

@@ -7,7 +7,10 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"edgeinfer/internal/core"
 	"edgeinfer/internal/dataset"
@@ -34,6 +37,13 @@ type Options struct {
 	// one build id regeneration becomes warm — the tables are identical
 	// across reruns and the tactic-timing cost is paid only once.
 	TimingCacheDir string
+
+	// Workers fans the per-image classification loops and the per-model
+	// accuracy-table loops across this many goroutines (0 = GOMAXPROCS).
+	// Results are deterministic for any worker count: outputs are placed
+	// by index and kernel execution is bit-identical regardless of
+	// parallelism. Set 1 to force the fully serial paths.
+	Workers int
 }
 
 // Default returns the fast configuration.
@@ -47,23 +57,122 @@ func Full() Options {
 }
 
 // Lab builds and caches engines, proxies and datasets across experiments.
+// All caches are safe for the concurrent access the fan-out paths
+// perform; engine builds are deduplicated so concurrent table goroutines
+// hitting the same engine key build it exactly once.
 type Lab struct {
 	Opts Options
 
-	engines map[string]*core.Engine
-	tcaches map[int]*core.TimingCache
-	preds   map[string][]int
-	benign  []dataset.Sample
-	adv     []dataset.AdversarialSample
+	mu       sync.Mutex
+	engines  map[string]*core.Engine
+	building map[string]*buildCell
+	tcaches  map[int]*core.TimingCache
+	preds    map[string][]int
+	benign   []dataset.Sample
+	adv      []dataset.AdversarialSample
 }
 
 // NewLab creates a lab with the given options.
 func NewLab(opts Options) *Lab {
 	return &Lab{
-		Opts:    opts,
-		engines: map[string]*core.Engine{},
-		tcaches: map[int]*core.TimingCache{},
-		preds:   map[string][]int{},
+		Opts:     opts,
+		engines:  map[string]*core.Engine{},
+		building: map[string]*buildCell{},
+		tcaches:  map[int]*core.TimingCache{},
+		preds:    map[string][]int{},
+	}
+}
+
+// workers is the fan-out width for per-image loops.
+func (l *Lab) workers() int {
+	if w := l.Opts.Workers; w > 0 {
+		return w
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// modelWorkers is the fan-out width for per-model table loops. Cold
+// engine builds sharing a timing cache are order-sensitive (entries
+// inserted by one engine's tuning are visible to the next lookup, so
+// tactic choices depend on build order); model-level fan-out therefore
+// degrades to serial when a cache directory is configured. Per-image
+// fan-out never builds engines, so it stays parallel either way.
+func (l *Lab) modelWorkers() int {
+	if l.Opts.TimingCacheDir != "" {
+		return 1
+	}
+	return l.workers()
+}
+
+// forEach runs fn(i) for every i in [0,n) across up to workers
+// goroutines, handing out indices through an atomic cursor. The outcome
+// is deterministic for any worker count and schedule: callers write
+// results into their own slices by index, and the surfaced failure is
+// always the lowest-indexed one (a panic at that index takes precedence
+// and is re-raised on the calling goroutine).
+func forEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	panics := make([]any, n)
+	var next atomic.Int64
+	run := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						panics[i] = r
+					}
+				}()
+				errs[i] = fn(i)
+			}()
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers-1; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			run()
+		}()
+	}
+	run()
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if panics[i] != nil {
+			panic(panics[i])
+		}
+		if errs[i] != nil {
+			return errs[i]
+		}
+	}
+	return nil
+}
+
+// fanModels fans fn across model/case indices for the table generators,
+// whose static configurations fail only by panicking.
+func (l *Lab) fanModels(n int, fn func(i int)) {
+	if err := forEach(l.modelWorkers(), n, func(i int) error {
+		fn(i)
+		return nil
+	}); err != nil {
+		panic(err) // unreachable: fn signals failure only by panicking
 	}
 }
 
@@ -78,6 +187,8 @@ func (l *Lab) timingCache(build int) *core.TimingCache {
 	if l.Opts.TimingCacheDir == "" {
 		return nil
 	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if c, ok := l.tcaches[build]; ok {
 		return c
 	}
@@ -92,6 +203,8 @@ func (l *Lab) timingCache(build int) *core.TimingCache {
 // SaveTimingCaches persists every build id's cache into TimingCacheDir.
 // A no-op when caching is off.
 func (l *Lab) SaveTimingCaches() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	for build, c := range l.tcaches {
 		if err := c.SaveFile(timingCachePath(l.Opts.TimingCacheDir, build)); err != nil {
 			return fmt.Errorf("experiments: save timing cache for build %d: %w", build, err)
@@ -120,20 +233,61 @@ func maxDevice(short string) *gpusim.Device {
 	return gpusim.NewDevice(spec, gpusim.PaperMaxClock(spec))
 }
 
+// buildCell is an in-flight engine build other goroutines can wait on.
+type buildCell struct {
+	done chan struct{}
+	e    *core.Engine
+	err  error
+}
+
+// cachedEngine returns the engine cached under key, building it at most
+// once across concurrent callers: the first caller runs build, everyone
+// else waits on its result. A panic inside build is converted to an
+// error so waiters never hang.
+func (l *Lab) cachedEngine(key string, build func() (*core.Engine, error)) (*core.Engine, error) {
+	l.mu.Lock()
+	if e, ok := l.engines[key]; ok {
+		l.mu.Unlock()
+		return e, nil
+	}
+	if c, ok := l.building[key]; ok {
+		l.mu.Unlock()
+		<-c.done
+		return c.e, c.err
+	}
+	c := &buildCell{done: make(chan struct{})}
+	l.building[key] = c
+	l.mu.Unlock()
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				c.e, c.err = nil, fmt.Errorf("experiments: build %s panicked: %v", key, r)
+			}
+		}()
+		c.e, c.err = build()
+	}()
+	l.mu.Lock()
+	if c.err == nil {
+		l.engines[key] = c.e
+	}
+	delete(l.building, key)
+	l.mu.Unlock()
+	close(c.done)
+	return c.e, c.err
+}
+
 // engine builds (or returns cached) a full-scale engine.
 func (l *Lab) engine(model, platform string, build int) *core.Engine {
 	key := fmt.Sprintf("full/%s/%s/%d", model, platform, build)
-	if e, ok := l.engines[key]; ok {
-		return e
-	}
-	g := models.MustBuild(model)
-	cfg := core.DefaultConfig(platformSpec(platform), build)
-	cfg.TimingCache = l.timingCache(build)
-	e, err := core.Build(g, cfg)
+	e, err := l.cachedEngine(key, func() (*core.Engine, error) {
+		g := models.MustBuild(model)
+		cfg := core.DefaultConfig(platformSpec(platform), build)
+		cfg.TimingCache = l.timingCache(build)
+		return core.Build(g, cfg)
+	})
 	if err != nil {
 		panic(fmt.Sprintf("experiments: build %s: %v", key, err))
 	}
-	l.engines[key] = e
 	return e
 }
 
@@ -141,21 +295,19 @@ func (l *Lab) engine(model, platform string, build int) *core.Engine {
 // surfacing build failures as errors.
 func (l *Lab) proxyEngineE(model, platform string, build int) (*core.Engine, error) {
 	key := fmt.Sprintf("proxy/%s/%s/%d", model, platform, build)
-	if e, ok := l.engines[key]; ok {
+	return l.cachedEngine(key, func() (*core.Engine, error) {
+		g, err := models.BuildProxy(model, models.DefaultProxyOptions())
+		if err != nil {
+			return nil, err
+		}
+		cfg := core.DefaultConfig(platformSpec(platform), build)
+		cfg.TimingCache = l.timingCache(build)
+		e, err := core.Build(g, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: build %s: %w", key, err)
+		}
 		return e, nil
-	}
-	g, err := models.BuildProxy(model, models.DefaultProxyOptions())
-	if err != nil {
-		return nil, err
-	}
-	cfg := core.DefaultConfig(platformSpec(platform), build)
-	cfg.TimingCache = l.timingCache(build)
-	e, err := core.Build(g, cfg)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: build %s: %w", key, err)
-	}
-	l.engines[key] = e
-	return e, nil
+	})
 }
 
 // proxyEngine is proxyEngineE for the paper-table generators, whose
@@ -170,6 +322,8 @@ func (l *Lab) proxyEngine(model, platform string, build int) *core.Engine {
 
 // benignSet lazily synthesizes the benign dataset.
 func (l *Lab) benignSet() []dataset.Sample {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if l.benign == nil {
 		l.benign = dataset.Benign(dataset.DefaultBenign(l.Opts.BenignPerClass))
 	}
@@ -178,6 +332,8 @@ func (l *Lab) benignSet() []dataset.Sample {
 
 // advSet lazily synthesizes the adversarial dataset.
 func (l *Lab) advSet() []dataset.AdversarialSample {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if l.adv == nil {
 		cfg := dataset.DefaultAdversarial(l.Opts.AdvPerClass)
 		cfg.Types = l.Opts.AdvTypes
@@ -186,21 +342,40 @@ func (l *Lab) advSet() []dataset.AdversarialSample {
 	return l.adv
 }
 
+func (l *Lab) cachedPred(key string) ([]int, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	p, ok := l.preds[key]
+	return p, ok
+}
+
+func (l *Lab) setPred(key string, p []int) {
+	l.mu.Lock()
+	l.preds[key] = p
+	l.mu.Unlock()
+}
+
 // classifyE runs an engine over images, caching predictions under key
-// and surfacing inference failures as errors.
+// and surfacing inference failures as errors. Images fan out across the
+// lab's workers; predictions land by index and the surfaced error is the
+// lowest-indexed failure, so the result is identical to the serial loop.
 func (l *Lab) classifyE(key string, e *core.Engine, images []*tensor.Tensor) ([]int, error) {
-	if p, ok := l.preds[key]; ok {
+	if p, ok := l.cachedPred(key); ok {
 		return p, nil
 	}
 	out := make([]int, len(images))
-	for i, img := range images {
-		o, err := e.Infer(img)
+	err := forEach(l.workers(), len(images), func(i int) error {
+		o, err := e.Infer(images[i])
 		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: image %d: %w", key, i, err)
+			return fmt.Errorf("experiments: %s: image %d: %w", key, i, err)
 		}
 		out[i] = o[0].Argmax()
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	l.preds[key] = out
+	l.setPred(key, out)
 	return out, nil
 }
 
@@ -215,9 +390,9 @@ func (l *Lab) classify(key string, e *core.Engine, images []*tensor.Tensor) []in
 }
 
 // classifyUnoptE runs the un-optimized proxy over images, surfacing
-// build and inference failures as errors.
+// build and inference failures as errors. Fans out like classifyE.
 func (l *Lab) classifyUnoptE(key, model string, images []*tensor.Tensor) ([]int, error) {
-	if p, ok := l.preds[key]; ok {
+	if p, ok := l.cachedPred(key); ok {
 		return p, nil
 	}
 	g, err := models.BuildProxy(model, models.DefaultProxyOptions())
@@ -225,14 +400,18 @@ func (l *Lab) classifyUnoptE(key, model string, images []*tensor.Tensor) ([]int,
 		return nil, err
 	}
 	out := make([]int, len(images))
-	for i, img := range images {
-		o, err := core.UnoptimizedInfer(g, img)
+	err = forEach(l.workers(), len(images), func(i int) error {
+		o, err := core.UnoptimizedInfer(g, images[i])
 		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: image %d: %w", key, i, err)
+			return fmt.Errorf("experiments: %s: image %d: %w", key, i, err)
 		}
 		out[i] = o[0].Argmax()
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	l.preds[key] = out
+	l.setPred(key, out)
 	return out, nil
 }
 

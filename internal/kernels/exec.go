@@ -2,6 +2,7 @@ package kernels
 
 import (
 	"fmt"
+	"sync"
 
 	"edgeinfer/internal/tensor"
 )
@@ -12,6 +13,14 @@ import (
 // reduction splits do. Two engines that picked different variants for the
 // same layer therefore produce (slightly) different outputs on the same
 // input — the mechanism behind the paper's Tables V and VI.
+//
+// Execution is parallel and allocation-free in the steady state: the
+// output space is partitioned into contiguous row/unit ranges across the
+// shared worker pool (pool.go), workers write disjoint output regions,
+// and every output element's reduction runs in exactly the serial order —
+// tile partials in ascending channel order through dotTile/reduceEdge,
+// folded by Variant.combine — so outputs are bit-identical to serial
+// execution for every variant, worker count and chunk placement.
 
 // roundTo rounds a partial sum to the variant's compute precision.
 func (v Variant) roundTo(x float32) float32 {
@@ -33,94 +42,259 @@ func (v Variant) tileChannels(kernel int) int {
 	return tc
 }
 
+// chunkMACs sizes a parallel work chunk: one chunk is roughly this many
+// multiply-accumulates, so small layers run inline (a single chunk) and
+// large layers split finely enough to balance across workers.
+const chunkMACs = 16384
+
+// grainFor converts per-unit work into a chunk grain of ~chunkMACs.
+func grainFor(unitMACs int) int {
+	if unitMACs >= chunkMACs || unitMACs <= 0 {
+		return 1
+	}
+	return (chunkMACs + unitMACs - 1) / unitMACs
+}
+
+// validateConv checks conv inputs the way a hardened runtime must:
+// mismatched weights or degenerate parameters — the signature of a
+// corrupted engine plan — return an error rather than crashing.
+func validateConv(x, w, b *tensor.Tensor, p tensor.ConvParams) (oh, ow, groups, icg int, err error) {
+	if x == nil || w == nil {
+		return 0, 0, 0, 0, fmt.Errorf("kernels: conv with nil input or weights")
+	}
+	if p.Kernel < 1 || p.Stride < 1 || p.Pad < 0 || p.OutC < 1 {
+		return 0, 0, 0, 0, fmt.Errorf("kernels: conv params k=%d s=%d p=%d outC=%d invalid", p.Kernel, p.Stride, p.Pad, p.OutC)
+	}
+	groups = p.Groups
+	if groups <= 0 {
+		groups = 1
+	}
+	if x.C%groups != 0 || p.OutC%groups != 0 {
+		return 0, 0, 0, 0, fmt.Errorf("kernels: conv groups %d do not divide channels in=%d out=%d", groups, x.C, p.OutC)
+	}
+	icg = x.C / groups
+	if want := p.OutC * icg * p.Kernel * p.Kernel; w.Len() != want {
+		return 0, 0, 0, 0, fmt.Errorf("kernels: conv weight len %d, want %d", w.Len(), want)
+	}
+	if b != nil && b.Len() < p.OutC {
+		return 0, 0, 0, 0, fmt.Errorf("kernels: conv bias len %d, want %d", b.Len(), p.OutC)
+	}
+	oh = tensor.ConvOutDim(x.H, p.Kernel, p.Stride, p.Pad)
+	ow = tensor.ConvOutDim(x.W, p.Kernel, p.Stride, p.Pad)
+	if oh < 1 || ow < 1 {
+		return 0, 0, 0, 0, fmt.Errorf("kernels: conv output %dx%d not positive", oh, ow)
+	}
+	return oh, ow, groups, icg, nil
+}
+
 // ExecConv runs a convolution with variant-specific accumulation. The
 // weight tensor layout matches tensor.Conv2D. Mismatched weights or
 // degenerate parameters — the signature of a corrupted engine plan —
 // return an error rather than crashing the process.
 func ExecConv(v Variant, x, w, b *tensor.Tensor, p tensor.ConvParams) (*tensor.Tensor, error) {
-	if x == nil || w == nil {
-		return nil, fmt.Errorf("kernels: conv with nil input or weights")
-	}
-	if p.Kernel < 1 || p.Stride < 1 || p.Pad < 0 || p.OutC < 1 {
-		return nil, fmt.Errorf("kernels: conv params k=%d s=%d p=%d outC=%d invalid", p.Kernel, p.Stride, p.Pad, p.OutC)
-	}
-	groups := p.Groups
-	if groups <= 0 {
-		groups = 1
-	}
-	if x.C%groups != 0 || p.OutC%groups != 0 {
-		return nil, fmt.Errorf("kernels: conv groups %d do not divide channels in=%d out=%d", groups, x.C, p.OutC)
-	}
-	icg := x.C / groups
-	ocg := p.OutC / groups
-	if want := p.OutC * icg * p.Kernel * p.Kernel; w.Len() != want {
-		return nil, fmt.Errorf("kernels: conv weight len %d, want %d", w.Len(), want)
-	}
-	if b != nil && b.Len() < p.OutC {
-		return nil, fmt.Errorf("kernels: conv bias len %d, want %d", b.Len(), p.OutC)
-	}
-	oh := tensor.ConvOutDim(x.H, p.Kernel, p.Stride, p.Pad)
-	ow := tensor.ConvOutDim(x.W, p.Kernel, p.Stride, p.Pad)
-	if oh < 1 || ow < 1 {
-		return nil, fmt.Errorf("kernels: conv output %dx%d not positive", oh, ow)
+	oh, ow, groups, icg, err := validateConv(x, w, b, p)
+	if err != nil {
+		return nil, err
 	}
 	y := tensor.New(x.N, p.OutC, oh, ow)
-	tileC := v.tileChannels(p.Kernel)
+	execConv(v, x, w, b, p, y, oh, ow, groups, icg)
+	return y, nil
+}
 
-	for n := 0; n < x.N; n++ {
-		for oc := 0; oc < p.OutC; oc++ {
-			g := oc / ocg
-			var bias float32
-			if b != nil {
-				bias = b.Data[oc]
-			}
-			for i := 0; i < oh; i++ {
-				for j := 0; j < ow; j++ {
-					val := v.reduceConv(x, w, n, oc, g, icg, i, j, p, tileC)
-					val = v.roundTo(val + bias)
-					if v.FusedAct && val < 0 {
-						val = 0
-					}
-					y.Set(n, oc, i, j, val)
+// ExecConvInto is ExecConv writing into a caller-provided output tensor
+// (every element is overwritten), so activation buffers can be reused
+// across inferences instead of churning the allocator. y must have shape
+// [x.N, p.OutC, oh, ow].
+func ExecConvInto(v Variant, x, w, b *tensor.Tensor, p tensor.ConvParams, y *tensor.Tensor) error {
+	oh, ow, groups, icg, err := validateConv(x, w, b, p)
+	if err != nil {
+		return err
+	}
+	if y == nil || y.N != x.N || y.C != p.OutC || y.H != oh || y.W != ow {
+		return fmt.Errorf("kernels: conv output buffer %v, want [%d %d %d %d]", y, x.N, p.OutC, oh, ow)
+	}
+	execConv(v, x, w, b, p, y, oh, ow, groups, icg)
+	return nil
+}
+
+// convExec carries the validated geometry of one conv execution.
+type convExec struct {
+	v       Variant
+	x, w, b *tensor.Tensor
+	p       tensor.ConvParams
+	y       *tensor.Tensor
+	oh, ow  int
+	groups  int
+	icg     int // input channels per group
+	ocg     int // output channels per group
+	kk      int // Kernel*Kernel
+	tileC   int // reduction-tile width in input channels
+}
+
+var convExecPool = sync.Pool{New: func() any { return new(convExec) }}
+
+// execConv partitions the output by (batch, output row) across the
+// worker pool. Each row task computes every output channel of that row,
+// so the im2col patch gathered for one output pixel is reused across all
+// channels of its group. The descriptor is pooled: dispatching a conv
+// allocates nothing in the steady state.
+func execConv(v Variant, x, w, b *tensor.Tensor, p tensor.ConvParams, y *tensor.Tensor, oh, ow, groups, icg int) {
+	c := convExecPool.Get().(*convExec)
+	*c = convExec{
+		v: v, x: x, w: w, b: b, p: p, y: y,
+		oh: oh, ow: ow, groups: groups, icg: icg,
+		ocg: p.OutC / groups, kk: p.Kernel * p.Kernel,
+		tileC: v.tileChannels(p.Kernel),
+	}
+	rows := x.N * oh
+	rowMACs := ow * p.OutC * icg * c.kk
+	parallelFor(rows, grainFor(rowMACs), c)
+	*c = convExec{} // drop tensor references before pooling
+	convExecPool.Put(c)
+}
+
+// chunk implements chunkBody over (batch, output row) units.
+func (c *convExec) chunk(s *execScratch, lo, hi int) {
+	for r := lo; r < hi; r++ {
+		c.row(s, r/c.oh, r%c.oh)
+	}
+}
+
+// row computes one output row (n, i, all channels, all columns).
+func (c *convExec) row(s *execScratch, n, i int) {
+	k, stride, pad := c.p.Kernel, c.p.Stride, c.p.Pad
+	ih0 := i*stride - pad
+	khLo, khHi := 0, k
+	if ih0 < 0 {
+		khLo = -ih0
+	}
+	if ih0+k > c.x.H {
+		khHi = c.x.H - ih0
+	}
+	for j := 0; j < c.ow; j++ {
+		iw0 := j*stride - pad
+		kwLo, kwHi := 0, k
+		if iw0 < 0 {
+			kwLo = -iw0
+		}
+		if iw0+k > c.x.W {
+			kwHi = c.x.W - iw0
+		}
+		interior := khLo == 0 && khHi == k && kwLo == 0 && kwHi == k
+		for g := 0; g < c.groups; g++ {
+			oc0 := g * c.ocg
+			if interior && c.ocg > 1 {
+				// Implicit-GEMM path: gather the input patch once and
+				// reuse it for every output channel of the group. The
+				// patch is laid out exactly in reduction order (channel,
+				// kh, kw), matching the weight layout, so each tile's dot
+				// product accumulates in the serial order.
+				patch := c.gather(s, n, g, ih0, iw0)
+				for oc := oc0; oc < oc0+c.ocg; oc++ {
+					wrow := c.w.Data[oc*c.icg*c.kk : (oc+1)*c.icg*c.kk]
+					c.store(n, oc, i, j, c.v.reducePatch(s, patch, wrow, c.tileC, c.kk, c.icg))
+				}
+			} else {
+				for oc := oc0; oc < oc0+c.ocg; oc++ {
+					c.store(n, oc, i, j, c.reduceEdge(s, n, oc, g, ih0, iw0, khLo, khHi, kwLo, kwHi))
 				}
 			}
 		}
 	}
-	return y, nil
 }
 
-// reduceConv accumulates one output element. Channels are processed in
-// tiles of tileC; each tile's partial sum is rounded to the variant
-// precision; partials combine sequentially (SplitK<=1) or pairwise by
-// halves (SplitK>1), mirroring split-K kernels' separate accumulators.
-func (v Variant) reduceConv(x, w *tensor.Tensor, n, oc, g, icg, i, j int, p tensor.ConvParams, tileC int) float32 {
-	var partials []float32
+// store applies bias, the variant's epilogue rounding and the fused
+// activation, then writes the element. Workers write disjoint rows, so
+// no synchronization is needed.
+func (c *convExec) store(n, oc, i, j int, val float32) {
+	var bias float32
+	if c.b != nil {
+		bias = c.b.Data[oc]
+	}
+	val = c.v.roundTo(val + bias)
+	if c.v.FusedAct && val < 0 {
+		val = 0
+	}
+	c.y.Data[((n*c.y.C+oc)*c.oh+i)*c.ow+j] = val
+}
+
+// gather copies the full kxk input window of group g at (ih0, iw0) into
+// the scratch patch buffer, in (channel, kh, kw) order. Only called for
+// interior pixels, where the whole window is in bounds.
+func (c *convExec) gather(s *execScratch, n, g, ih0, iw0 int) []float32 {
+	k := c.p.Kernel
+	patch := s.patchBuf(c.icg * c.kk)
+	pi := 0
+	for cc := 0; cc < c.icg; cc++ {
+		ic := g*c.icg + cc
+		off := ((n*c.x.C+ic)*c.x.H+ih0)*c.x.W + iw0
+		for kh := 0; kh < k; kh++ {
+			copy(patch[pi:pi+k], c.x.Data[off:off+k])
+			pi += k
+			off += c.x.W
+		}
+	}
+	return patch
+}
+
+// reducePatch accumulates one output element from a gathered patch:
+// channel tiles of tileC, each tile's partial rounded by dotTile, folded
+// by combine — the exact serial reduction order.
+func (v Variant) reducePatch(s *execScratch, patch, wrow []float32, tileC, kk, icg int) float32 {
+	partials := s.tiles((icg + tileC - 1) / tileC)
 	for c0 := 0; c0 < icg; c0 += tileC {
 		c1 := c0 + tileC
 		if c1 > icg {
 			c1 = icg
 		}
+		partials = append(partials, v.dotTile(patch[c0*kk:c1*kk], wrow[c0*kk:c1*kk]))
+	}
+	s.partials = partials
+	return v.combine(partials)
+}
+
+// dotTile computes one reduction tile's partial sum and rounds it to the
+// variant precision. Every multiply-accumulate of the patch path flows
+// through here, in ascending index order with w*x operand order — the
+// same sequence the per-element serial loop produced.
+func (v Variant) dotTile(x, w []float32) float32 {
+	var acc float32
+	for i, xv := range x {
+		acc += w[i] * xv
+	}
+	return v.roundTo(acc)
+}
+
+// reduceEdge accumulates one output element the general way, iterating
+// only the in-bounds kernel taps (identical to the serial loop, which
+// skipped out-of-bounds taps). Row slices hoist the index arithmetic out
+// of the inner loop.
+func (c *convExec) reduceEdge(s *execScratch, n, oc, g, ih0, iw0, khLo, khHi, kwLo, kwHi int) float32 {
+	k := c.p.Kernel
+	partials := s.tiles((c.icg + c.tileC - 1) / c.tileC)
+	for c0 := 0; c0 < c.icg; c0 += c.tileC {
+		c1 := c0 + c.tileC
+		if c1 > c.icg {
+			c1 = c.icg
+		}
 		var acc float32
-		for c := c0; c < c1; c++ {
-			ic := g*icg + c
-			for kh := 0; kh < p.Kernel; kh++ {
-				ih := i*p.Stride + kh - p.Pad
-				if ih < 0 || ih >= x.H {
-					continue
-				}
-				for kw := 0; kw < p.Kernel; kw++ {
-					iw := j*p.Stride + kw - p.Pad
-					if iw < 0 || iw >= x.W {
-						continue
-					}
-					wv := w.Data[((oc*icg+c)*p.Kernel+kh)*p.Kernel+kw]
-					acc += wv * x.At(n, ic, ih, iw)
+		for cc := c0; cc < c1; cc++ {
+			ic := g*c.icg + cc
+			wbase := (oc*c.icg + cc) * c.kk
+			for kh := khLo; kh < khHi; kh++ {
+				xoff := ((n*c.x.C+ic)*c.x.H+ih0+kh)*c.x.W + iw0
+				woff := wbase + kh*k
+				xrow := c.x.Data[xoff+kwLo : xoff+kwHi]
+				wrow := c.w.Data[woff+kwLo : woff+kwHi]
+				for t, xv := range xrow {
+					acc += wrow[t] * xv
 				}
 			}
 		}
-		partials = append(partials, v.roundTo(acc))
+		partials = append(partials, c.v.roundTo(acc))
 	}
-	return v.combine(partials)
+	s.partials = partials
+	return c.v.combine(partials)
 }
 
 // combine folds tile partials into the final sum in the variant's order.
@@ -147,52 +321,101 @@ func (v Variant) combine(partials []float32) float32 {
 	return acc
 }
 
+// validateFC checks FC inputs; see validateConv.
+func validateFC(x, w, b *tensor.Tensor, out int) (in int, err error) {
+	if x == nil || w == nil {
+		return 0, fmt.Errorf("kernels: fc with nil input or weights")
+	}
+	if out < 1 {
+		return 0, fmt.Errorf("kernels: fc with out=%d", out)
+	}
+	in = x.C * x.H * x.W
+	if w.Len() != out*in {
+		return 0, fmt.Errorf("kernels: fc weight len %d, want %d", w.Len(), out*in)
+	}
+	if b != nil && b.Len() < out {
+		return 0, fmt.Errorf("kernels: fc bias len %d, want %d", b.Len(), out)
+	}
+	return in, nil
+}
+
 // ExecFC runs a fully-connected layer with variant-specific accumulation.
 // Like ExecConv, malformed weights return an error instead of panicking.
 func ExecFC(v Variant, x, w, b *tensor.Tensor, out int) (*tensor.Tensor, error) {
-	if x == nil || w == nil {
-		return nil, fmt.Errorf("kernels: fc with nil input or weights")
+	in, err := validateFC(x, w, b, out)
+	if err != nil {
+		return nil, err
 	}
-	if out < 1 {
-		return nil, fmt.Errorf("kernels: fc with out=%d", out)
+	y := tensor.New(x.N, out, 1, 1)
+	execFC(v, x, w, b, out, in, y)
+	return y, nil
+}
+
+// ExecFCInto is ExecFC writing into a caller-provided [x.N, out, 1, 1]
+// output tensor; every element is overwritten.
+func ExecFCInto(v Variant, x, w, b *tensor.Tensor, out int, y *tensor.Tensor) error {
+	in, err := validateFC(x, w, b, out)
+	if err != nil {
+		return err
 	}
-	in := x.C * x.H * x.W
-	if w.Len() != out*in {
-		return nil, fmt.Errorf("kernels: fc weight len %d, want %d", w.Len(), out*in)
+	if y == nil || y.N != x.N || y.C != out || y.H != 1 || y.W != 1 {
+		return fmt.Errorf("kernels: fc output buffer %v, want [%d %d 1 1]", y, x.N, out)
 	}
-	if b != nil && b.Len() < out {
-		return nil, fmt.Errorf("kernels: fc bias len %d, want %d", b.Len(), out)
-	}
+	execFC(v, x, w, b, out, in, y)
+	return nil
+}
+
+// fcExec carries the validated geometry of one FC execution.
+type fcExec struct {
+	v           Variant
+	x, w, b     *tensor.Tensor
+	y           *tensor.Tensor
+	out, in     int
+	tile, tiles int
+}
+
+var fcExecPool = sync.Pool{New: func() any { return new(fcExec) }}
+
+// execFC partitions the output by (batch, output unit) across the worker
+// pool; each unit's reduction tiles accumulate through dotTile in the
+// serial order. Like execConv, the descriptor is pooled.
+func execFC(v Variant, x, w, b *tensor.Tensor, out, in int, y *tensor.Tensor) {
 	tile := v.TileK
 	if tile < 1 {
 		tile = in
 	}
-	y := tensor.New(x.N, out, 1, 1)
-	for n := 0; n < x.N; n++ {
-		xoff := n * in
-		for o := 0; o < out; o++ {
-			woff := o * in
-			var partials []float32
-			for k0 := 0; k0 < in; k0 += tile {
-				k1 := k0 + tile
-				if k1 > in {
-					k1 = in
-				}
-				var acc float32
-				for k := k0; k < k1; k++ {
-					acc += w.Data[woff+k] * x.Data[xoff+k]
-				}
-				partials = append(partials, v.roundTo(acc))
-			}
-			val := v.combine(partials)
-			if b != nil {
-				val = v.roundTo(val + b.Data[o])
-			}
-			if v.FusedAct && val < 0 {
-				val = 0
-			}
-			y.Set(n, o, 0, 0, val)
-		}
+	f := fcExecPool.Get().(*fcExec)
+	*f = fcExec{
+		v: v, x: x, w: w, b: b, y: y,
+		out: out, in: in, tile: tile, tiles: (in + tile - 1) / tile,
 	}
-	return y, nil
+	parallelFor(x.N*out, grainFor(in), f)
+	*f = fcExec{}
+	fcExecPool.Put(f)
+}
+
+// chunk implements chunkBody over (batch, output unit) units.
+func (f *fcExec) chunk(s *execScratch, lo, hi int) {
+	for u := lo; u < hi; u++ {
+		n, o := u/f.out, u%f.out
+		xrow := f.x.Data[n*f.in : (n+1)*f.in]
+		wrow := f.w.Data[o*f.in : (o+1)*f.in]
+		partials := s.tiles(f.tiles)
+		for k0 := 0; k0 < f.in; k0 += f.tile {
+			k1 := k0 + f.tile
+			if k1 > f.in {
+				k1 = f.in
+			}
+			partials = append(partials, f.v.dotTile(xrow[k0:k1], wrow[k0:k1]))
+		}
+		s.partials = partials
+		val := f.v.combine(partials)
+		if f.b != nil {
+			val = f.v.roundTo(val + f.b.Data[o])
+		}
+		if f.v.FusedAct && val < 0 {
+			val = 0
+		}
+		f.y.Data[n*f.out+o] = val
+	}
 }

@@ -1,0 +1,7 @@
+//go:build race
+
+package kernels
+
+// raceEnabled reports the race detector is active; its instrumentation
+// adds allocations of its own, so exact allocation counts are skipped.
+const raceEnabled = true

@@ -1,0 +1,378 @@
+// Batched serving. DoBatch is the batch twin of Executor.Do/Pool.Do,
+// built on Engine.InferBatchFaulty: one timed pass and one batched
+// numeric inference per attempt instead of one of each per image, so the
+// replica fleet amortizes launch, retry and voting overhead across the
+// batch. Per-image numerics are untouched — on a pristine executor or
+// fleet, the batch outputs are bit-identical to serving each image
+// individually.
+package serve
+
+import (
+	"fmt"
+	"sort"
+
+	"edgeinfer/internal/core"
+	"edgeinfer/internal/tensor"
+)
+
+// BatchResult is one served batch request.
+type BatchResult struct {
+	// Outputs[i] are the numeric outputs of input i, in input order.
+	Outputs [][]*tensor.Tensor
+	// LatencySec is the batch's end-to-end simulated latency (attempts,
+	// stalls, backoff), shared by every image of the batch.
+	LatencySec float64
+	// Tier that finally served the batch.
+	Tier Tier
+	// Retries issued across all tiers.
+	Retries int
+	// Degraded reports the batch was not served by the tuned engine.
+	Degraded bool
+	// DeadlineMiss reports the accumulated latency exceeded the deadline.
+	DeadlineMiss bool
+}
+
+// DoBatch serves one batched numeric request through the same
+// degradation chain as Do. Each tier attempt is a single timed pass over
+// the engine plan plus one batched inference; a fault anywhere in the
+// batch fails the whole attempt (the batch rides one launch sequence).
+// On a pristine executor, Outputs[i] is bit-identical to Do(xs[i]).
+func (ex *Executor) DoBatch(xs []*tensor.Tensor, runIndex int) (*BatchResult, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("serve: DoBatch needs at least one input")
+	}
+	for i, x := range xs {
+		if x == nil {
+			return nil, fmt.Errorf("serve: DoBatch input %d is nil", i)
+		}
+	}
+	ex.count(func(s *Stats) { s.Requests++ })
+	res := &Result{Tier: TierFP32}
+
+	tryTuned := ex.admitTuned()
+	alloc, _ := ex.cfg.Injector.(Allocator)
+
+	for tier := TierTuned; tier < TierFP32; tier++ {
+		eng := ex.cfg.Engine
+		if tier == TierLowBatch {
+			eng = ex.cfg.LowBatch
+		}
+		if eng == nil || (tier == TierTuned && !tryTuned) {
+			continue
+		}
+		if !eng.Numeric {
+			continue
+		}
+		if ex.deadlineExceeded(res) {
+			break
+		}
+		if alloc != nil {
+			if err := alloc.Alloc(eng.PerThreadMemBytes()); err != nil {
+				ex.count(func(s *Stats) { s.AllocRejects++ })
+				if tier == TierTuned {
+					ex.recordPrimary(false)
+				}
+				continue
+			}
+		}
+		outs, ok := ex.tryTierBatch(eng, xs, runIndex, res)
+		if alloc != nil {
+			alloc.Free(eng.PerThreadMemBytes())
+		}
+		if tier == TierTuned {
+			ex.recordPrimary(ok)
+		}
+		if ok {
+			res.Tier = tier
+			res.Degraded = tier != TierTuned
+			ex.count(func(s *Stats) { s.TierServed[tier]++ })
+			ex.setLastTier(tier)
+			return batchResult(res, outs), nil
+		}
+		ex.count(func(s *Stats) { s.TierFailures[tier]++ })
+	}
+
+	// Terminal tier: the FP32 host path has no batched kernels — every
+	// image pays the full reference pass.
+	res.LatencySec += float64(len(xs)) * core.UnoptimizedRun(ex.cfg.Fallback, ex.cfg.Device)
+	ex.deadlineExceeded(res)
+	outs := make([][]*tensor.Tensor, len(xs))
+	for i, x := range xs {
+		o, err := core.UnoptimizedInfer(ex.cfg.Fallback, x)
+		if err != nil {
+			return nil, fmt.Errorf("serve: FP32 fallback failed: %w", err)
+		}
+		outs[i] = o
+	}
+	res.Tier = TierFP32
+	res.Degraded = true
+	ex.count(func(s *Stats) { s.TierServed[TierFP32]++ })
+	ex.setLastTier(TierFP32)
+	return batchResult(res, outs), nil
+}
+
+func batchResult(res *Result, outs [][]*tensor.Tensor) *BatchResult {
+	return &BatchResult{
+		Outputs:      outs,
+		LatencySec:   res.LatencySec,
+		Tier:         res.Tier,
+		Retries:      res.Retries,
+		Degraded:     res.Degraded,
+		DeadlineMiss: res.DeadlineMiss,
+	}
+}
+
+// tryTierBatch is tryTier with one batched inference per attempt.
+func (ex *Executor) tryTierBatch(eng *core.Engine, xs []*tensor.Tensor, runIndex int, res *Result) ([][]*tensor.Tensor, bool) {
+	cfg := core.RunConfig{
+		Device:        ex.cfg.Device,
+		IncludeMemcpy: ex.cfg.IncludeMemcpy,
+		RunIndex:      runIndex,
+	}
+	for attempt := 0; attempt <= ex.cfg.MaxRetries; attempt++ {
+		if attempt > 0 && !ex.retryWait(attempt, res) {
+			return nil, false
+		}
+		run, err := eng.RunFaulty(cfg, ex.cfg.Injector)
+		res.LatencySec += run.LatencySec
+		var outs [][]*tensor.Tensor
+		if err == nil {
+			outs, err = eng.InferBatchFaulty(xs, ex.cfg.Injector)
+		}
+		if err == nil {
+			ex.deadlineExceeded(res)
+			return outs, true
+		}
+	}
+	return nil, false
+}
+
+// PoolBatchResult is one batched fleet request.
+type PoolBatchResult struct {
+	// Results[i] is the per-image outcome — the same verdicts Do would
+	// produce for xs[i] given identical replica answers.
+	Results []*PoolResult
+	// LatencySec is the batch release time: the latest per-image release.
+	LatencySec float64
+}
+
+// DoBatch serves one batch through the fleet. Each replica runs once and
+// answers with one batched inference; under quorum, majority voting then
+// happens per image over the batched outputs. With no injected faults
+// the per-image winners and outputs are bit-identical to serving each
+// image with Do. The supervisor folds one latency observation per
+// replica (one run happened) and one divergence vote per image.
+func (p *Pool) DoBatch(xs []*tensor.Tensor, runIndex int) (*PoolBatchResult, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("serve: pool DoBatch needs at least one input")
+	}
+	for i, x := range xs {
+		if x == nil {
+			return nil, fmt.Errorf("serve: pool DoBatch input %d is nil", i)
+		}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Requests++
+	req := p.stats.Requests
+	p.advanceRebuilds(req)
+	if p.cfg.Quorum {
+		return p.serveQuorumBatch(req, xs, runIndex)
+	}
+	return p.serveRRBatch(req, xs, runIndex)
+}
+
+// serveRRBatch dispatches the whole batch to the next active replica,
+// failing over like serveRR.
+func (p *Pool) serveRRBatch(req uint64, xs []*tensor.Tensor, runIndex int) (*PoolBatchResult, error) {
+	active := p.sup.active()
+	if len(active) == 0 {
+		return p.serveFP32Batch(xs, 0)
+	}
+	start := p.rr
+	p.rr++
+	var total float64
+	for i := 0; i < len(active); i++ {
+		r := active[(start+i)%len(active)]
+		if !r.activeState() {
+			continue
+		}
+		run, runErr := r.eng.RunFaulty(p.runCfg(runIndex), r.inj)
+		total += run.LatencySec
+		var outs [][]*tensor.Tensor
+		var inferErr error
+		if runErr == nil {
+			outs, inferErr = r.eng.InferBatchFaulty(xs, r.inj)
+		}
+		errored := runErr != nil || inferErr != nil
+		p.countObservation(p.sup.observe(req, r, run.LatencySec, errored))
+		if errored {
+			p.stats.ReplicaFails++
+			continue
+		}
+		p.stats.RoundRobin++
+		br := &PoolBatchResult{LatencySec: total}
+		for _, o := range outs {
+			br.Results = append(br.Results, &PoolResult{
+				Outputs:    o,
+				LatencySec: total,
+				Replica:    r.slot,
+				BuildID:    r.eng.BuildID,
+			})
+		}
+		return br, nil
+	}
+	return p.serveFP32Batch(xs, total)
+}
+
+// bvote is one replica's answer to a batched quorum request.
+type bvote struct {
+	r       *replica
+	lat     float64
+	outs    [][]*tensor.Tensor
+	errored bool
+}
+
+// serveQuorumBatch runs every active replica once over the batch, then
+// applies serveQuorum's majority rule image by image.
+func (p *Pool) serveQuorumBatch(req uint64, xs []*tensor.Tensor, runIndex int) (*PoolBatchResult, error) {
+	active := p.sup.active()
+	if len(active) == 0 {
+		return p.serveFP32Batch(xs, 0)
+	}
+	votes := make([]bvote, 0, len(active))
+	var maxLat float64
+	for _, r := range active {
+		run, runErr := r.eng.RunFaulty(p.runCfg(runIndex), r.inj)
+		v := bvote{r: r, lat: run.LatencySec, errored: runErr != nil}
+		if !v.errored {
+			outs, err := r.eng.InferBatchFaulty(xs, r.inj)
+			if err != nil || len(outs) != len(xs) {
+				v.errored = true
+			} else {
+				v.outs = outs
+			}
+		}
+		if v.errored {
+			p.stats.ReplicaFails++
+		} else if v.lat > maxLat {
+			maxLat = v.lat
+		}
+		votes = append(votes, v)
+	}
+
+	br := &PoolBatchResult{Results: make([]*PoolResult, len(xs))}
+	for img, x := range xs {
+		voters := make([]vote, 0, len(votes))
+		for _, v := range votes {
+			if v.errored {
+				continue
+			}
+			o := v.outs[img]
+			arg := -1
+			if len(o) > 0 {
+				arg = argmax(o[0])
+			}
+			voters = append(voters, vote{r: v.r, lat: v.lat, outs: o, arg: arg})
+		}
+
+		// Strict-majority argmax; at most one can hold it.
+		majArg, majority := -1, []vote(nil)
+		for _, v := range voters {
+			n := 0
+			for _, w := range voters {
+				if w.arg == v.arg {
+					n++
+				}
+			}
+			if 2*n > len(voters) {
+				majArg = v.arg
+				for _, w := range voters {
+					if w.arg == majArg {
+						majority = append(majority, w)
+					}
+				}
+				break
+			}
+		}
+
+		// Divergence signal, per image in slot order (each image of the
+		// batch is one quorum vote's worth of evidence).
+		var refArg = -1
+		var refOuts []*tensor.Tensor
+		if majArg < 0 && len(voters) > 0 {
+			outs, err := core.UnoptimizedInfer(p.fallback, x)
+			if err == nil && len(outs) > 0 {
+				refOuts = outs
+				refArg = argmax(outs[0])
+			}
+		}
+		for _, v := range voters {
+			switch {
+			case majArg >= 0:
+				p.sup.noteDivergence(v.r, v.arg != majArg)
+			case refArg >= 0:
+				p.sup.noteDivergence(v.r, v.arg != refArg)
+			}
+		}
+
+		if len(majority) == 0 {
+			p.stats.NoMajority++
+			res, err := p.serveFP32(x, maxLat)
+			if err != nil {
+				return nil, err
+			}
+			if res.Outputs == nil && refOuts != nil {
+				res.Outputs = refOuts
+			}
+			res.Voters = len(voters)
+			br.Results[img] = res
+		} else {
+			winner := majority[0]
+			lats := make([]float64, len(majority))
+			for i, v := range majority {
+				lats[i] = v.lat
+			}
+			sort.Float64s(lats)
+			release := lats[0]
+			if len(lats) > 1 {
+				release = lats[1]
+			}
+			p.stats.QuorumServed++
+			br.Results[img] = &PoolResult{
+				Outputs:    winner.outs,
+				LatencySec: release,
+				Replica:    winner.r.slot,
+				BuildID:    winner.r.eng.BuildID,
+				Voters:     len(voters),
+				Majority:   len(majority),
+			}
+		}
+		if br.Results[img].LatencySec > br.LatencySec {
+			br.LatencySec = br.Results[img].LatencySec
+		}
+	}
+
+	// One latency observation per replica: the batch was one run each.
+	for i := range votes {
+		v := &votes[i]
+		p.countObservation(p.sup.observe(req, v.r, v.lat, v.errored))
+	}
+	return br, nil
+}
+
+// serveFP32Batch serves every image of the batch from the FP32 tier.
+func (p *Pool) serveFP32Batch(xs []*tensor.Tensor, baseLat float64) (*PoolBatchResult, error) {
+	br := &PoolBatchResult{}
+	for _, x := range xs {
+		res, err := p.serveFP32(x, baseLat)
+		if err != nil {
+			return nil, err
+		}
+		br.Results = append(br.Results, res)
+		if res.LatencySec > br.LatencySec {
+			br.LatencySec = res.LatencySec
+		}
+	}
+	return br, nil
+}

@@ -366,28 +366,8 @@ func (ex *Executor) tryTier(eng *core.Engine, tier Tier, x *tensor.Tensor, runIn
 		RunIndex:      runIndex,
 	}
 	for attempt := 0; attempt <= ex.cfg.MaxRetries; attempt++ {
-		if attempt > 0 {
-			res.Retries++
-			ex.count(func(s *Stats) { s.Retries++ })
-			wait := ex.backoff(attempt)
-			// The modeled wait must not accumulate past the request
-			// deadline: sleeping beyond the remaining budget cannot help
-			// the request, it only inflates the recorded miss. Clamp the
-			// wait to what is left (the backoff-jitter stream still
-			// advances, so clamping never perturbs later requests).
-			if ex.cfg.DeadlineSec > 0 {
-				if remain := ex.cfg.DeadlineSec - res.LatencySec; wait > remain {
-					if remain < 0 {
-						remain = 0
-					}
-					wait = remain
-					ex.count(func(s *Stats) { s.BackoffClamps++ })
-				}
-			}
-			res.LatencySec += wait
-			if ex.deadlineExceeded(res) {
-				return false
-			}
+		if attempt > 0 && !ex.retryWait(attempt, res) {
+			return false
 		}
 		run, err := eng.RunFaulty(cfg, ex.cfg.Injector)
 		res.LatencySec += run.LatencySec
@@ -407,6 +387,29 @@ func (ex *Executor) tryTier(eng *core.Engine, tier Tier, x *tensor.Tensor, runIn
 		}
 	}
 	return false
+}
+
+// retryWait accounts one retry's backoff into res. The modeled wait
+// must not accumulate past the request deadline: sleeping beyond the
+// remaining budget cannot help the request, it only inflates the
+// recorded miss, so the wait is clamped to what is left (the
+// backoff-jitter stream still advances, so clamping never perturbs
+// later requests). Reports false when the deadline is already gone.
+func (ex *Executor) retryWait(attempt int, res *Result) bool {
+	res.Retries++
+	ex.count(func(s *Stats) { s.Retries++ })
+	wait := ex.backoff(attempt)
+	if ex.cfg.DeadlineSec > 0 {
+		if remain := ex.cfg.DeadlineSec - res.LatencySec; wait > remain {
+			if remain < 0 {
+				remain = 0
+			}
+			wait = remain
+			ex.count(func(s *Stats) { s.BackoffClamps++ })
+		}
+	}
+	res.LatencySec += wait
+	return !ex.deadlineExceeded(res)
 }
 
 // deadlineExceeded checks (and counts, once) the request deadline.
