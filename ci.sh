@@ -7,9 +7,12 @@
 # that must show zero wrong-answer escapes and zero leaked quarantines),
 # the rtlint static-analysis suite — source analyzers over the
 # module, then static plan-IR verification of every classifier engine
-# the results are generated from — and a benchmark smoke over the hot
+# the results are generated from — a benchmark smoke over the hot
 # numeric paths, archived as BENCH_numeric.json so ns/op and allocs/op
-# regressions are diffable across commits. Run from the repo root.
+# regressions are diffable across commits, and the serving soak (an
+# open-loop 2x-overload run against the netserve front-end that must
+# shed explicitly, answer every request, and drain cleanly), archived
+# as BENCH_serve.json. Run from the repo root.
 set -eux
 
 go vet ./...
@@ -23,3 +26,4 @@ go run ./cmd/rtlint ./...
 go run ./cmd/rtlint -plancheck
 go test -run='^$' -bench='^(BenchmarkNumericInference|BenchmarkEngineBuild|BenchmarkInferBatch)$' \
   -benchmem -benchtime=1x . | go run ./cmd/benchjson -out BENCH_numeric.json
+go run ./cmd/loadgen -smoke | go run ./cmd/benchjson -out BENCH_serve.json

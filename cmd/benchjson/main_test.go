@@ -1,0 +1,85 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// parse extracts result lines from interleaved chatter, mapping the
+// standard units to their dedicated fields and every custom unit —
+// including the loadgen serving metrics — into Metrics.
+func TestParseBenchOutput(t *testing.T) {
+	in := strings.Join([]string{
+		"goos: linux",
+		"BenchmarkNumericInference-8 12 98765 ns/op 1024 B/op 3 allocs/op",
+		"loadgen: 400 arrivals over 200ms",
+		"BenchmarkServeLoad 142 54353551 ns/op 60489882 p99-ns/op 60685203 p999-ns/op 606.89 req/s 39.00 shed-% 45.00 miss-% 64 max-depth",
+		"PASS",
+	}, "\n")
+	rep, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+
+	num := rep.Benchmarks[0]
+	if num.Name != "BenchmarkNumericInference-8" || num.Iterations != 12 {
+		t.Fatalf("first line: %+v", num)
+	}
+	if num.NsPerOp != 98765 || num.BytesPerOp != 1024 || num.AllocsPerOp != 3 {
+		t.Fatalf("standard units misparsed: %+v", num)
+	}
+
+	load := rep.Benchmarks[1]
+	if load.Name != "BenchmarkServeLoad" || load.Iterations != 142 || load.NsPerOp != 54353551 {
+		t.Fatalf("loadgen line: %+v", load)
+	}
+	want := map[string]float64{
+		"p99-ns/op":  60489882,
+		"p999-ns/op": 60685203,
+		"req/s":      606.89,
+		"shed-%":     39,
+		"miss-%":     45,
+		"max-depth":  64,
+	}
+	for unit, v := range want {
+		if load.Metrics[unit] != v {
+			t.Fatalf("metric %q = %v, want %v (%+v)", unit, load.Metrics[unit], v, load.Metrics)
+		}
+	}
+	// -benchmem columns absent: the sentinel says so.
+	if load.BytesPerOp != -1 || load.AllocsPerOp != -1 {
+		t.Fatalf("missing benchmem columns not sentineled: %+v", load)
+	}
+}
+
+// Lines that merely resemble results are rejected, not half-parsed.
+func TestParseLineRejectsChatter(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"ok  	edgeinfer/internal/serve	25.382s",
+		"Benchmark with spaces 12 34 ns/op", // non-numeric iterations
+		"BenchmarkX twelve 34 ns/op",        // non-numeric iterations
+		"BenchmarkX 12 notanumber ns/op",    // non-numeric value
+		"BenchmarkX 12",                     // no value/unit pairs
+		"loadgen: smoke ok (overload shed cleanly)",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Fatalf("parsed chatter line %q", line)
+		}
+	}
+}
+
+// An odd trailing field (a value with no unit) is ignored rather than
+// inventing a metric.
+func TestParseLineOddTrailingField(t *testing.T) {
+	b, ok := parseLine("BenchmarkY 5 100 ns/op 7")
+	if !ok || b.NsPerOp != 100 {
+		t.Fatalf("line with odd tail: ok=%v %+v", ok, b)
+	}
+	if len(b.Metrics) != 0 {
+		t.Fatalf("odd tail invented metrics: %+v", b.Metrics)
+	}
+}

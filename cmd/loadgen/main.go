@@ -1,0 +1,351 @@
+// Command loadgen drives the netserve front-end with an open-loop
+// request generator: arrivals fire on a fixed schedule regardless of how
+// fast responses come back, which is what makes overload real — a closed
+// loop would politely slow down instead of filling the queue. The server
+// runs in-process on a loopback listener over a registry-built executor
+// backend whose wall-clock service time is paced per batch, so "2x
+// overload" is a configuration, not an accident of host speed.
+//
+// The generator mixes priorities, attaches per-request deadlines, and
+// (via the seeded network fault injector) throttles some uploads to
+// slow-client pace, disconnects some clients mid-request, and
+// periodically multiplies arrivals into bursts. Every outcome is
+// tallied; the run ends with a graceful drain and a benchjson-parseable
+// result line — p50/p99/p999 latency, throughput, shed rate, and
+// deadline-miss rate — for CI to archive:
+//
+//	go run ./cmd/loadgen -smoke | go run ./cmd/benchjson -out BENCH_serve.json
+//
+// -smoke is the CI gate: the run must overload (sheds observed), every
+// shed must be an explicit 503 with Retry-After, every request must be
+// answered (result or error — never a hang), the queue must respect its
+// depth bound, and the drain must complete with nothing in flight.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"edgeinfer/internal/faults"
+	"edgeinfer/internal/gpusim"
+	"edgeinfer/internal/metrics"
+	"edgeinfer/internal/models"
+	"edgeinfer/internal/netserve"
+	"edgeinfer/internal/serve"
+	"edgeinfer/internal/tensor"
+)
+
+// pacedBackend wraps a real backend with a fixed wall-clock service time
+// per batch, so the generator's arrival rate has a known capacity to
+// overload: capacity = maxBatch / serve time.
+type pacedBackend struct {
+	netserve.Backend
+	serveTime time.Duration
+}
+
+func (b *pacedBackend) ServeBatch(xs []*tensor.Tensor, runIndex int, deadlineSec float64) (*netserve.BatchAnswer, error) {
+	time.Sleep(b.serveTime)
+	return b.Backend.ServeBatch(xs, runIndex, deadlineSec)
+}
+
+// outcome is one request's fate as the client saw it.
+type outcome struct {
+	status     int  // 0 when the transport failed
+	retryAfter bool // Retry-After header present
+	canceled   bool // we disconnected this client on purpose
+	latency    time.Duration
+	miss       bool // served, but the reply flagged a deadline miss
+}
+
+func main() {
+	model := flag.String("model", "resnet18", "model to serve (must have a numeric proxy)")
+	requests := flag.Int("requests", 400, "total arrivals to generate")
+	rate := flag.Float64("rate", 2000, "open-loop arrival rate, requests/second")
+	highFrac := flag.Float64("high", 0.2, "fraction of requests sent high-priority")
+	deadlineMS := flag.Int("deadline", 50, "per-request deadline, milliseconds")
+	maxBatch := flag.Int("batch", 4, "server coalescing batch size")
+	windowMS := flag.Int("window", 2, "server batch window, milliseconds")
+	depth := flag.Int("depth", 64, "server queue depth bound")
+	serveMS := flag.Int("serve", 4, "paced wall-clock service time per batch, milliseconds")
+	seed := flag.String("seed", "loadgen", "seed for the network fault injector")
+	slowRate := flag.Float64("slowRate", 0.05, "fraction of clients uploading at throttled pace")
+	discRate := flag.Float64("discRate", 0.02, "fraction of clients disconnecting mid-request")
+	burstEvery := flag.Int("burstEvery", 20, "every Nth tick is a burst (0 disables)")
+	burstFactor := flag.Int("burstFactor", 4, "arrival multiplier on burst ticks")
+	smoke := flag.Bool("smoke", false, "CI gate: overload must shed cleanly and drain must complete")
+	flag.Parse()
+
+	if err := run(config{
+		model: *model, requests: *requests, rate: *rate, highFrac: *highFrac,
+		deadline: time.Duration(*deadlineMS) * time.Millisecond,
+		maxBatch: *maxBatch, window: time.Duration(*windowMS) * time.Millisecond,
+		depth: *depth, serveTime: time.Duration(*serveMS) * time.Millisecond,
+		seed: *seed, slowRate: *slowRate, discRate: *discRate,
+		burstEvery: *burstEvery, burstFactor: *burstFactor, smoke: *smoke,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	model                   string
+	requests                int
+	rate, highFrac          float64
+	deadline                time.Duration
+	maxBatch                int
+	window                  time.Duration
+	depth                   int
+	serveTime               time.Duration
+	seed                    string
+	slowRate, discRate      float64
+	burstEvery, burstFactor int
+	smoke                   bool
+}
+
+func run(cfg config) error {
+	if !models.HasProxy(cfg.model) {
+		return fmt.Errorf("no numeric proxy for %q (need one of the classification models)", cfg.model)
+	}
+	if cfg.rate <= 0 || cfg.requests <= 0 {
+		return fmt.Errorf("rate and requests must be positive")
+	}
+
+	reg := serve.NewRegistry(gpusim.XavierNX(), nil)
+	ex, err := reg.Executor(cfg.model, serve.Config{Seed: "loadgen/" + cfg.model})
+	if err != nil {
+		return err
+	}
+	eng, err := reg.ProxyEngine(cfg.model)
+	if err != nil {
+		return err
+	}
+	be := &pacedBackend{
+		Backend:   netserve.NewExecutorBackend(ex, eng.Graph.InputShape),
+		serveTime: cfg.serveTime,
+	}
+	srv, err := netserve.New(netserve.Config{
+		Models:          []netserve.ModelConfig{{Name: cfg.model, Backend: be}},
+		MaxBatch:        cfg.maxBatch,
+		BatchWindow:     cfg.window,
+		QueueDepth:      cfg.depth,
+		DefaultDeadline: cfg.deadline,
+	})
+	if err != nil {
+		return err
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	url := fmt.Sprintf("http://%s/v1/models/%s/infer", addr, cfg.model)
+
+	inj := faults.NetPlan{
+		Seed:           cfg.seed,
+		SlowClientRate: cfg.slowRate,
+		SlowChunkBytes: 8,
+		SlowChunkDelay: 200 * time.Microsecond,
+		DisconnectRate: cfg.discRate,
+		BurstEvery:     cfg.burstEvery,
+		BurstFactor:    cfg.burstFactor,
+	}.NewNet(cfg.model)
+
+	// Open loop: one tick per arrival slot; burst ticks multiply the
+	// arrivals in that slot. Nobody waits for a response before the next
+	// arrival fires.
+	outcomes := make([]outcome, 0, cfg.requests)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	interval := time.Duration(float64(time.Second) / cfg.rate)
+	highPermille := int(cfg.highFrac * 1000)
+	start := time.Now()
+	issued := 0
+	for tick := 1; issued < cfg.requests; tick++ {
+		// Sleep to the tick's absolute slot, not a relative interval: when
+		// the sleep overshoots (coarse timer granularity), later ticks fire
+		// back-to-back until the schedule catches up, so the asked-for rate
+		// is delivered on average instead of silently eroding.
+		if d := time.Until(start.Add(time.Duration(tick) * interval)); d > 0 {
+			time.Sleep(d)
+		}
+		n := inj.Burst(tick)
+		for j := 0; j < n && issued < cfg.requests; j++ {
+			idx := issued
+			issued++
+			chunk, delay, slow := inj.SlowClient()
+			disconnect := inj.Disconnect()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				o := fire(url, idx, idx%1000 < highPermille, cfg.deadline, slow, chunk, delay, disconnect)
+				mu.Lock()
+				outcomes = append(outcomes, o)
+				mu.Unlock()
+			}()
+		}
+	}
+
+	// Every client must come back — a hang here is the deadlock the
+	// smoke gate exists to catch.
+	clientsDone := make(chan struct{})
+	go func() { wg.Wait(); close(clientsDone) }()
+	select {
+	case <-clientsDone:
+	case <-time.After(60 * time.Second):
+		return fmt.Errorf("deadlock: clients still waiting 60s after the last arrival")
+	}
+	elapsed := time.Since(start)
+
+	// Graceful exit: the drain must flush whatever the overload left
+	// queued and come back with nothing in flight.
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		return fmt.Errorf("drain did not complete: %w", err)
+	}
+	st := srv.Stats()
+	ms := st.Models[cfg.model]
+
+	return report(cfg, outcomes, elapsed, ms, st, inj)
+}
+
+// fire issues one request and classifies the outcome.
+func fire(url string, idx int, high bool, deadline time.Duration, slow bool, chunk int, delay time.Duration, disconnect bool) outcome {
+	body := fmt.Sprintf(`{"input":%d}`, idx)
+	var rd io.Reader = bytes.NewReader([]byte(body))
+	if slow {
+		rd = faults.Throttle(rd, chunk, delay)
+	}
+	ctx := context.Background()
+	if disconnect {
+		// A deliberately impatient client: hang up partway through the
+		// request's deadline budget.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline/2)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, rd)
+	if err != nil {
+		return outcome{canceled: disconnect}
+	}
+	if high {
+		req.Header.Set("X-Priority", "high")
+	}
+	req.Header.Set("X-Deadline-Ms", fmt.Sprint(int(deadline/time.Millisecond)))
+	t0 := time.Now()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return outcome{canceled: disconnect && errors.Is(err, context.DeadlineExceeded)}
+	}
+	defer resp.Body.Close()
+	o := outcome{
+		status:     resp.StatusCode,
+		retryAfter: resp.Header.Get("Retry-After") != "",
+		latency:    time.Since(t0),
+	}
+	if resp.StatusCode == http.StatusOK {
+		var rep netserve.InferReply
+		if derr := readJSON(resp.Body, &rep); derr == nil {
+			o.miss = rep.DeadlineMiss
+		}
+	} else {
+		_, _ = io.Copy(io.Discard, resp.Body)
+	}
+	return o
+}
+
+func readJSON(r io.Reader, v any) error {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(data, v)
+}
+
+// report prints the human summary to stderr and the benchjson-parseable
+// result line to stdout, then applies the smoke gates.
+func report(cfg config, outcomes []outcome, elapsed time.Duration, ms netserve.ModelStats, st netserve.ServerStats, inj *faults.NetInjector) error {
+	var served, shed, expired, canceled, transport, other int
+	var latencies []float64
+	misses := 0
+	for _, o := range outcomes {
+		switch {
+		case o.status == http.StatusOK:
+			served++
+			latencies = append(latencies, o.latency.Seconds())
+			if o.miss {
+				misses++
+			}
+		case o.status == http.StatusServiceUnavailable:
+			shed++
+		case o.status == http.StatusGatewayTimeout:
+			expired++
+			misses++
+		case o.canceled:
+			canceled++
+		case o.status == 0:
+			transport++
+		default:
+			other++
+		}
+	}
+	answered := served + shed + expired
+	total := len(outcomes)
+	p := metrics.Percentiles(latencies, 50, 99, 99.9)
+	rps := float64(served) / elapsed.Seconds()
+	shedPct := 100 * float64(shed) / float64(total)
+	missPct := 100 * float64(misses) / float64(total)
+
+	fmt.Fprintf(os.Stderr,
+		"loadgen: %d arrivals over %v (%.0f/s asked): %d served, %d shed, %d expired, %d disconnected, %d transport, %d other\n",
+		total, elapsed.Round(time.Millisecond), cfg.rate, served, shed, expired, canceled, transport, other)
+	fmt.Fprintf(os.Stderr,
+		"loadgen: latency p50 %.2fms p99 %.2fms p999 %.2fms | %.0f served/s | shed %.1f%% | miss %.1f%% | max queue depth %d/%d\n",
+		p[0]*1e3, p[1]*1e3, p[2]*1e3, rps, shedPct, missPct, ms.MaxQueueDepth, cfg.depth)
+	fmt.Fprintf(os.Stderr, "loadgen: faults injected: %s\n", inj.Counters())
+
+	// The benchjson line: p50 as ns/op, everything else as custom units.
+	fmt.Printf("BenchmarkServeLoad %d %.0f ns/op %.0f p99-ns/op %.0f p999-ns/op %.2f req/s %.2f shed-%% %.2f miss-%% %d max-depth\n",
+		served, p[0]*1e9, p[1]*1e9, p[2]*1e9, rps, shedPct, missPct, ms.MaxQueueDepth)
+
+	if !cfg.smoke {
+		return nil
+	}
+	var fails []string
+	gate := func(ok bool, format string, args ...any) {
+		if !ok {
+			fails = append(fails, fmt.Sprintf(format, args...))
+		}
+	}
+	gate(served > 0, "nothing was served")
+	gate(shed > 0, "overload produced zero sheds — the run did not overload")
+	gate(other == 0, "%d responses outside {200, 503, 504}", other)
+	gate(transport == 0, "%d transport failures on live clients", transport)
+	gate(answered+canceled == total, "%d of %d requests unaccounted for", total-answered-canceled, total)
+	gate(ms.MaxQueueDepth <= cfg.depth, "queue depth %d exceeded bound %d", ms.MaxQueueDepth, cfg.depth)
+	gate(st.Models[cfg.model].QueueDepth == 0, "drain left %d requests queued", st.Models[cfg.model].QueueDepth)
+	gate(st.Draining, "server not marked draining after drain")
+	for _, o := range outcomes {
+		if o.status == http.StatusServiceUnavailable && !o.retryAfter {
+			fails = append(fails, "a 503 shed arrived without Retry-After")
+			break
+		}
+	}
+	if len(fails) > 0 {
+		for _, f := range fails {
+			fmt.Fprintln(os.Stderr, "loadgen: FAIL:", f)
+		}
+		return fmt.Errorf("smoke gate failed (%d violations)", len(fails))
+	}
+	fmt.Fprintln(os.Stderr, "loadgen: smoke ok (overload shed cleanly, every request answered, drain complete)")
+	return nil
+}

@@ -58,6 +58,15 @@ const (
 	// activation with no error signal: the fault the latency watchdog
 	// cannot see and only quorum voting catches.
 	KindSilentCorrupt
+	// KindSlowClient is a network-layer fault: a client that dribbles its
+	// request body a few bytes at a time, tying up a server read path.
+	KindSlowClient
+	// KindClientGone is a network-layer fault: a client that disconnects
+	// mid-request, after the server has already admitted the work.
+	KindClientGone
+	// KindBurst is a network-layer fault: an open-loop arrival burst, a
+	// multiple of the nominal request rate landing in one tick.
+	KindBurst
 
 	nKinds
 )
@@ -66,6 +75,7 @@ var kindNames = [nKinds]string{
 	"clock-drop", "launch-fail", "stream-stall",
 	"memcpy-retry", "memcpy-fail", "alloc-fail", "bit-flip",
 	"latency-inflate", "stuck-kernel", "silent-corrupt",
+	"slow-client", "client-gone", "burst",
 }
 
 // String implements fmt.Stringer.

@@ -1,0 +1,119 @@
+package faults_test
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+
+	"edgeinfer/internal/faults"
+)
+
+// Same seed, same scenario: the verdict streams are byte-identical.
+// Different scenarios diverge.
+func TestNetInjectorDeterminism(t *testing.T) {
+	plan := faults.NetPlan{Seed: "net-det", SlowClientRate: 0.5, DisconnectRate: 0.5}
+	draw := func(scenario string) []bool {
+		in := plan.NewNet(scenario)
+		out := make([]bool, 0, 64)
+		for i := 0; i < 32; i++ {
+			_, _, slow := in.SlowClient()
+			out = append(out, slow, in.Disconnect())
+		}
+		return out
+	}
+	a, b := draw("a"), draw("a")
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("verdict %d differs across same-scenario injectors", i)
+		}
+	}
+	c := draw("b")
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("independent scenarios produced identical verdict streams")
+	}
+}
+
+// A zero plan never fires and counts nothing.
+func TestNetInjectorZeroPlan(t *testing.T) {
+	in := faults.NetPlan{Seed: "net-zero"}.NewNet("z")
+	for i := 0; i < 100; i++ {
+		if _, _, slow := in.SlowClient(); slow {
+			t.Fatal("zero plan drew a slow client")
+		}
+		if in.Disconnect() {
+			t.Fatal("zero plan drew a disconnect")
+		}
+		if in.Burst(i+1) != 1 {
+			t.Fatal("zero plan fired a burst")
+		}
+	}
+	if got := in.Counters().Total(); got != 0 {
+		t.Fatalf("zero plan counted %d faults", got)
+	}
+}
+
+// Bursts are deterministic in the tick schedule and do not consume the
+// random stream: enabling them must not shift slow/disconnect verdicts.
+func TestNetBurstScheduleIndependent(t *testing.T) {
+	base := faults.NetPlan{Seed: "net-burst", SlowClientRate: 0.3, DisconnectRate: 0.3}
+	withBurst := base
+	withBurst.BurstEvery, withBurst.BurstFactor = 5, 3
+
+	a, b := base.NewNet("x"), withBurst.NewNet("x")
+	for tick := 1; tick <= 40; tick++ {
+		if got := b.Burst(tick); (tick%5 == 0) != (got == 3) {
+			t.Fatalf("tick %d: burst factor %d", tick, got)
+		}
+		_, _, sa := a.SlowClient()
+		_, _, sb := b.SlowClient()
+		if sa != sb || a.Disconnect() != b.Disconnect() {
+			t.Fatalf("tick %d: burst schedule perturbed the verdict stream", tick)
+		}
+	}
+	if got := b.Counters().Get(faults.KindBurst); got != 8 {
+		t.Fatalf("burst count %d, want 8", got)
+	}
+}
+
+// Throttle paces the body but delivers every byte intact.
+func TestThrottleDeliversAllBytes(t *testing.T) {
+	payload := bytes.Repeat([]byte("edge"), 64) // 256 bytes
+	r := faults.Throttle(bytes.NewReader(payload), 32, 100*time.Microsecond)
+	start := time.Now()
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("throttled read corrupted the payload")
+	}
+	// 256 bytes at 32 per chunk is 8+ reads of >=100µs each.
+	if elapsed := time.Since(start); elapsed < 800*time.Microsecond {
+		t.Fatalf("throttle did not pace: %v elapsed", elapsed)
+	}
+}
+
+// Counters tally the network kinds under their own names.
+func TestNetCounterNames(t *testing.T) {
+	in := faults.NetPlan{Seed: "net-names", SlowClientRate: 1, DisconnectRate: 1, BurstEvery: 1, BurstFactor: 2}.NewNet("n")
+	in.SlowClient()
+	in.Disconnect()
+	in.Burst(1)
+	c := in.Counters()
+	for _, k := range []faults.Kind{faults.KindSlowClient, faults.KindClientGone, faults.KindBurst} {
+		if c.Get(k) != 1 {
+			t.Fatalf("kind %s count %d, want 1", k, c.Get(k))
+		}
+	}
+	if s := c.String(); s == "" || s == "no faults" {
+		t.Fatalf("counter string %q", s)
+	}
+}

@@ -8,6 +8,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Top1Error returns the percentage of predictions that differ from the
@@ -131,6 +132,42 @@ func Latencies(secs []float64) LatencyStats {
 // String renders "mean (std)" in the paper's table style.
 func (l LatencyStats) String() string {
 	return fmt.Sprintf("%.2f (%.2f)", l.MeanMS, l.StdMS)
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) of the samples
+// by the nearest-rank method: the smallest sample at or above rank
+// ceil(p/100 * n). Fleet-level serving reports tails this way — p999 of
+// an open-loop run is an actual observed latency, never an interpolated
+// value between two. Returns 0 for an empty set; p outside (0, 100]
+// clamps to the nearest bound. The input is not modified.
+func Percentile(samples []float64, p float64) float64 {
+	return Percentiles(samples, p)[0]
+}
+
+// Percentiles is Percentile over several ranks with one sort: the
+// p50/p99/p999 triple of a load run costs one O(n log n) pass.
+func Percentiles(samples []float64, ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	if len(samples) == 0 {
+		return out
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	for i, p := range ps {
+		if p <= 0 {
+			out[i] = sorted[0]
+			continue
+		}
+		if p > 100 {
+			p = 100
+		}
+		rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+		if rank < 1 {
+			rank = 1
+		}
+		out[i] = sorted[rank-1]
+	}
+	return out
 }
 
 // FPS converts a per-frame latency in seconds to frames per second.

@@ -1,0 +1,132 @@
+package netserve
+
+import (
+	"fmt"
+
+	"edgeinfer/internal/serve"
+	"edgeinfer/internal/tensor"
+)
+
+// Answer is one request's share of a served batch.
+type Answer struct {
+	// Outputs are the numeric outputs for this input.
+	Outputs []*tensor.Tensor
+	// Tier names what served it: an executor tier ("tuned", "low-batch",
+	// "fp32") or a fleet slot ("replica-2", "fp32").
+	Tier string
+	// Degraded reports the primary serving path did not answer.
+	Degraded bool
+}
+
+// BatchAnswer is a backend's answer to one coalesced batch.
+type BatchAnswer struct {
+	// Results[i] answers input i, in input order.
+	Results []Answer
+	// LatencySec is the batch's simulated service latency (shared by
+	// every member — the batch rides one launch sequence).
+	LatencySec float64
+	// DeadlineMiss reports the simulated service latency overran the
+	// batch's deadline budget.
+	DeadlineMiss bool
+}
+
+// Backend serves coalesced batches for one model. ServeBatch must
+// return an error wrapping serve.ErrDeadlineExceeded when the budget
+// expired before any tier answered, a nil error with len(Results) ==
+// len(xs) otherwise; it is called from a single batcher goroutine per
+// model. Ready feeds the readiness probe.
+type Backend interface {
+	ServeBatch(xs []*tensor.Tensor, runIndex int, deadlineSec float64) (*BatchAnswer, error)
+	Ready() (ok bool, detail string)
+	InputShape() [4]int
+}
+
+// executorBackend serves through a resilient serve.Executor: the
+// per-batch deadline budget clamps through the executor's deadline
+// machinery (retry backoff clamped to the remaining budget, typed
+// ErrDeadlineExceeded on expiry).
+type executorBackend struct {
+	ex    *serve.Executor
+	shape [4]int
+}
+
+// NewExecutorBackend wraps an executor whose engine consumes inputs of
+// the given shape.
+func NewExecutorBackend(ex *serve.Executor, shape [4]int) Backend {
+	return &executorBackend{ex: ex, shape: shape}
+}
+
+func (b *executorBackend) InputShape() [4]int { return b.shape }
+
+func (b *executorBackend) ServeBatch(xs []*tensor.Tensor, runIndex int, deadlineSec float64) (*BatchAnswer, error) {
+	br, err := b.ex.DoBatchDeadline(xs, runIndex, deadlineSec)
+	if err != nil {
+		return nil, err
+	}
+	ba := &BatchAnswer{LatencySec: br.LatencySec, DeadlineMiss: br.DeadlineMiss}
+	ba.Results = make([]Answer, len(xs))
+	for i := range xs {
+		ba.Results[i] = Answer{Outputs: br.Outputs[i], Tier: br.Tier.String(), Degraded: br.Degraded}
+	}
+	return ba, nil
+}
+
+func (b *executorBackend) Ready() (bool, string) {
+	h := b.ex.Health()
+	if h.State == "open" {
+		return false, "circuit breaker open"
+	}
+	return true, h.State
+}
+
+// poolBackend serves through a self-healing serve.Pool. The pool has no
+// retry/backoff machinery of its own, so the deadline budget is applied
+// to its simulated batch-release latency: an overrun is reported as a
+// miss on every member, and readiness follows the supervisor's active
+// replica count.
+type poolBackend struct {
+	pool  *serve.Pool
+	shape [4]int
+}
+
+// NewPoolBackend wraps a replica fleet.
+func NewPoolBackend(pool *serve.Pool) Backend {
+	var shape [4]int
+	if engines := pool.Engines(); len(engines) > 0 && engines[0].Graph != nil {
+		shape = engines[0].Graph.InputShape
+	}
+	return &poolBackend{pool: pool, shape: shape}
+}
+
+func (b *poolBackend) InputShape() [4]int { return b.shape }
+
+func (b *poolBackend) ServeBatch(xs []*tensor.Tensor, runIndex int, deadlineSec float64) (*BatchAnswer, error) {
+	br, err := b.pool.DoBatch(xs, runIndex)
+	if err != nil {
+		return nil, err
+	}
+	if len(br.Results) != len(xs) {
+		return nil, fmt.Errorf("netserve: pool answered %d of %d inputs", len(br.Results), len(xs))
+	}
+	ba := &BatchAnswer{
+		LatencySec:   br.LatencySec,
+		DeadlineMiss: deadlineSec > 0 && br.LatencySec > deadlineSec,
+	}
+	ba.Results = make([]Answer, len(xs))
+	for i, pr := range br.Results {
+		tier := fmt.Sprintf("replica-%d", pr.Replica)
+		if pr.Fallback {
+			tier = "fp32"
+		}
+		ba.Results[i] = Answer{Outputs: pr.Outputs, Tier: tier, Degraded: pr.Fallback}
+	}
+	return ba, nil
+}
+
+func (b *poolBackend) Ready() (bool, string) {
+	h := b.pool.Health()
+	if h.Active == 0 {
+		return false, "no active replicas"
+	}
+	return true, fmt.Sprintf("%d/%d replicas active", h.Active, len(h.Replicas))
+}

@@ -1,0 +1,377 @@
+package netserve
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"edgeinfer/internal/serve"
+	"edgeinfer/internal/tensor"
+)
+
+// request is one admitted inference request waiting for its batch.
+type request struct {
+	x        *tensor.Tensor
+	high     bool
+	deadline time.Time
+	enqueued time.Time
+	// resp receives exactly one response (buffered so the batcher never
+	// blocks on a handler that stopped listening).
+	resp chan response
+	// canceled is set by the handler when the client disconnects; the
+	// batcher skips canceled requests instead of wedging a batch slot on
+	// a dead client.
+	canceled atomic.Bool
+}
+
+// deliver hands the request its response. Non-blocking: the channel has
+// capacity 1 and each request is answered exactly once, so the default
+// arm only guards against bugs, never drops a real answer.
+func (r *request) deliver(resp response) {
+	select {
+	case r.resp <- resp:
+	default:
+	}
+}
+
+// response is what the handler writes back.
+type response struct {
+	status     int
+	retryAfter bool
+	reply      any // InferReply or ErrReply, JSON-marshaled by the handler
+}
+
+// modelQueue is one model's bounded coalescing queue plus the single
+// batcher goroutine that drains it. Admission, eviction and shedding
+// happen under mu; the batcher packs admitted requests into
+// size-or-window-triggered batches and serves them through the backend.
+type modelQueue struct {
+	model    string
+	be       Backend
+	maxBatch int
+	window   time.Duration
+	depth    int
+
+	mu       sync.Mutex
+	high     []*request
+	low      []*request
+	draining bool
+	stats    ModelStats
+	runIndex int
+
+	// wake (capacity 1) nudges the batcher after an admit; drainCh is
+	// closed exactly once when draining starts.
+	wake      chan struct{}
+	drainCh   chan struct{}
+	drainOnce sync.Once
+}
+
+func newModelQueue(model string, be Backend, maxBatch int, window time.Duration, depth int) *modelQueue {
+	return &modelQueue{
+		model:    model,
+		be:       be,
+		maxBatch: maxBatch,
+		window:   window,
+		depth:    depth,
+		wake:     make(chan struct{}, 1),
+		drainCh:  make(chan struct{}),
+	}
+}
+
+func (q *modelQueue) signal() {
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+}
+
+// beginDrain flips the queue into drain mode: no further admissions,
+// and the batcher flushes what is queued and exits. Idempotent.
+func (q *modelQueue) beginDrain() {
+	q.mu.Lock()
+	q.draining = true
+	q.mu.Unlock()
+	q.drainOnce.Do(func() { close(q.drainCh) })
+}
+
+func shedResp(reason string) response {
+	return response{
+		status:     503,
+		retryAfter: true,
+		reply:      ErrReply{Error: "overloaded", Reason: reason},
+	}
+}
+
+// admit applies the admission policy. It returns nil when the request
+// was queued; otherwise the response the caller must write (a shed).
+// When the queue is full and a high-priority request arrives, the
+// youngest queued low-priority request is evicted in its favor — shed
+// low first, and shed the request with the least sunk queueing time.
+// Every shed is an explicit 503 with Retry-After, never a hang.
+func (q *modelQueue) admit(req *request) *response {
+	q.mu.Lock()
+	if q.draining {
+		q.countShed(req.high)
+		q.mu.Unlock()
+		r := shedResp("draining")
+		return &r
+	}
+	var victim *request
+	if len(q.high)+len(q.low) >= q.depth {
+		if !req.high || len(q.low) == 0 {
+			q.countShed(req.high)
+			q.mu.Unlock()
+			r := shedResp("queue-full")
+			return &r
+		}
+		victim = q.low[len(q.low)-1]
+		q.low = q.low[:len(q.low)-1]
+		q.stats.Evicted++
+		q.countShed(false)
+	}
+	if req.high {
+		q.high = append(q.high, req)
+	} else {
+		q.low = append(q.low, req)
+	}
+	if d := len(q.high) + len(q.low); d > q.stats.MaxQueueDepth {
+		q.stats.MaxQueueDepth = d
+	}
+	q.stats.Accepted++
+	q.mu.Unlock()
+	if victim != nil {
+		victim.deliver(shedResp("evicted"))
+	}
+	q.signal()
+	return nil
+}
+
+func (q *modelQueue) countShed(high bool) {
+	q.stats.Shed++
+	if high {
+		q.stats.ShedHigh++
+	} else {
+		q.stats.ShedLow++
+	}
+}
+
+func (q *modelQueue) empty() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.high)+len(q.low) == 0
+}
+
+// popLive pops the next serviceable request (high band first). Canceled
+// requests are dropped silently (the handler already counted the
+// disconnect); requests whose deadline has already expired are answered
+// 504 on the spot — a queue must never spend a batch slot on an answer
+// nobody can use.
+func (q *modelQueue) popLive() *request {
+	for {
+		q.mu.Lock()
+		var r *request
+		switch {
+		case len(q.high) > 0:
+			r = q.high[0]
+			q.high = q.high[1:]
+			if len(q.high) == 0 {
+				q.high = nil
+			}
+		case len(q.low) > 0:
+			r = q.low[0]
+			q.low = q.low[1:]
+			if len(q.low) == 0 {
+				q.low = nil
+			}
+		}
+		if r == nil {
+			q.mu.Unlock()
+			return nil
+		}
+		if r.canceled.Load() {
+			q.mu.Unlock()
+			continue
+		}
+		if time.Now().After(r.deadline) {
+			q.stats.Expired++
+			q.stats.DeadlineMisses++
+			q.mu.Unlock()
+			r.deliver(response{status: 504, reply: ErrReply{Error: "deadline exceeded in queue", Reason: "deadline"}})
+			continue
+		}
+		q.mu.Unlock()
+		return r
+	}
+}
+
+// next blocks until a serviceable request is available, or returns nil
+// when the queue is draining and empty (the batcher's exit condition).
+func (q *modelQueue) next() *request {
+	for {
+		if r := q.popLive(); r != nil {
+			return r
+		}
+		q.mu.Lock()
+		draining := q.draining
+		q.mu.Unlock()
+		if draining && q.empty() {
+			return nil
+		}
+		select {
+		case <-q.wake:
+		case <-q.drainCh:
+			if q.empty() {
+				return nil
+			}
+		}
+	}
+}
+
+// gather coalesces requests behind first into one batch: it fills up to
+// maxBatch, or until the batch window expires — whichever comes first.
+// During drain the window is forfeited: whatever is queued flushes
+// immediately.
+func (q *modelQueue) gather(first *request) []*request {
+	batch := []*request{first}
+	if q.maxBatch <= 1 {
+		return batch
+	}
+	timer := time.NewTimer(q.window)
+	defer timer.Stop()
+	for len(batch) < q.maxBatch {
+		if r := q.popLive(); r != nil {
+			batch = append(batch, r)
+			continue
+		}
+		select {
+		case <-q.wake:
+		case <-timer.C:
+			return batch
+		case <-q.drainCh:
+			return batch
+		}
+	}
+	return batch
+}
+
+// run is the batcher goroutine: pop, coalesce, serve, respond — until
+// drained.
+func (q *modelQueue) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		first := q.next()
+		if first == nil {
+			return
+		}
+		q.serveBatch(q.gather(first))
+	}
+}
+
+// serveBatch runs one coalesced batch through the backend and fans the
+// per-request responses out. The batch's serving budget is its tightest
+// member deadline, clamped through the executor's deadline machinery by
+// the backend.
+func (q *modelQueue) serveBatch(batch []*request) {
+	start := time.Now()
+	xs := make([]*tensor.Tensor, len(batch))
+	minRem := math.MaxFloat64
+	for i, r := range batch {
+		xs[i] = r.x
+		if rem := r.deadline.Sub(start).Seconds(); rem < minRem {
+			minRem = rem
+		}
+	}
+	if minRem <= 0 {
+		// popLive admitted it un-expired; the clock moved since. Give the
+		// batch a hair of budget rather than a guaranteed abort.
+		minRem = 1e-6
+	}
+	q.mu.Lock()
+	idx := q.runIndex
+	q.runIndex++
+	q.stats.Batches++
+	q.stats.BatchedInputs += uint64(len(batch))
+	q.mu.Unlock()
+
+	ans, err := q.be.ServeBatch(xs, idx, minRem)
+	switch {
+	case err != nil && errors.Is(err, serve.ErrDeadlineExceeded):
+		q.mu.Lock()
+		q.stats.Aborted += uint64(len(batch))
+		q.stats.DeadlineMisses += uint64(len(batch))
+		q.mu.Unlock()
+		for _, r := range batch {
+			r.deliver(response{status: 504, reply: ErrReply{Error: "deadline exceeded in service", Reason: "deadline"}})
+		}
+	case err != nil:
+		q.mu.Lock()
+		q.stats.Errors += uint64(len(batch))
+		q.mu.Unlock()
+		for _, r := range batch {
+			r.deliver(response{status: 500, reply: ErrReply{Error: err.Error(), Reason: "backend"}})
+		}
+	default:
+		done := time.Now()
+		var served, misses uint64
+		for i, r := range batch {
+			a := ans.Results[i]
+			miss := ans.DeadlineMiss || done.After(r.deadline)
+			served++
+			if miss {
+				misses++
+			}
+			arg := -1
+			if len(a.Outputs) > 0 {
+				arg = argmax(a.Outputs[0])
+			}
+			r.deliver(response{status: 200, reply: InferReply{
+				Model:        q.model,
+				Argmax:       arg,
+				LatencySec:   ans.LatencySec,
+				QueueMS:      float64(start.Sub(r.enqueued)) / float64(time.Millisecond),
+				BatchSize:    len(batch),
+				Tier:         a.Tier,
+				Degraded:     a.Degraded,
+				DeadlineMiss: miss,
+			}})
+		}
+		q.mu.Lock()
+		q.stats.Served += served
+		q.stats.DeadlineMisses += misses
+		q.mu.Unlock()
+	}
+}
+
+// snapshot copies the stats under the lock, folding in the live depth.
+func (q *modelQueue) snapshot() ModelStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	s := q.stats
+	s.QueueDepth = len(q.high) + len(q.low)
+	return s
+}
+
+// noteClientGone counts a mid-request disconnect (the handler observed
+// the context cancellation; the batcher will skip the request).
+func (q *modelQueue) noteClientGone() {
+	q.mu.Lock()
+	q.stats.ClientGone++
+	q.mu.Unlock()
+}
+
+// argmax returns the index of the largest element (lowest index wins
+// ties), or -1 for an empty tensor.
+func argmax(t *tensor.Tensor) int {
+	if t == nil || len(t.Data) == 0 {
+		return -1
+	}
+	best := 0
+	for i, v := range t.Data {
+		if v > t.Data[best] {
+			best = i
+		}
+	}
+	return best
+}

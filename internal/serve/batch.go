@@ -38,6 +38,20 @@ type BatchResult struct {
 // batch fails the whole attempt (the batch rides one launch sequence).
 // On a pristine executor, Outputs[i] is bit-identical to Do(xs[i]).
 func (ex *Executor) DoBatch(xs []*tensor.Tensor, runIndex int) (*BatchResult, error) {
+	return ex.doBatch(xs, runIndex, ex.cfg.DeadlineSec, false)
+}
+
+// DoBatchDeadline is DoBatch under a per-request deadline (clamped with
+// the configured DeadlineSec): the coalescing front-end's serving path,
+// where the batch's budget is the tightest member deadline. Like
+// DoDeadline, a batch whose deadline expires before any tier has served
+// is abandoned with a wrapped ErrDeadlineExceeded instead of paying the
+// per-image FP32 reference passes.
+func (ex *Executor) DoBatchDeadline(xs []*tensor.Tensor, runIndex int, deadlineSec float64) (*BatchResult, error) {
+	return ex.doBatch(xs, runIndex, ex.effectiveDeadline(deadlineSec), true)
+}
+
+func (ex *Executor) doBatch(xs []*tensor.Tensor, runIndex int, deadlineSec float64, abort bool) (*BatchResult, error) {
 	if len(xs) == 0 {
 		return nil, fmt.Errorf("serve: DoBatch needs at least one input")
 	}
@@ -47,7 +61,7 @@ func (ex *Executor) DoBatch(xs []*tensor.Tensor, runIndex int) (*BatchResult, er
 		}
 	}
 	ex.count(func(s *Stats) { s.Requests++ })
-	res := &Result{Tier: TierFP32}
+	res := &Result{Tier: TierFP32, deadlineSec: deadlineSec}
 
 	tryTuned := ex.admitTuned()
 	alloc, _ := ex.cfg.Injector.(Allocator)
@@ -94,6 +108,9 @@ func (ex *Executor) DoBatch(xs []*tensor.Tensor, runIndex int) (*BatchResult, er
 
 	// Terminal tier: the FP32 host path has no batched kernels — every
 	// image pays the full reference pass.
+	if err := ex.abortLate(res, abort); err != nil {
+		return nil, err
+	}
 	res.LatencySec += float64(len(xs)) * core.UnoptimizedRun(ex.cfg.Fallback, ex.cfg.Device)
 	ex.deadlineExceeded(res)
 	outs := make([][]*tensor.Tensor, len(xs))

@@ -1,0 +1,129 @@
+package serve_test
+
+// Typed deadline error and per-request deadline variants (issue
+// satellite: the serving front-end maps deadline misses to a distinct
+// HTTP status and metric, which needs errors.Is, not string matching).
+
+import (
+	"errors"
+	"testing"
+
+	"edgeinfer/internal/faults"
+	"edgeinfer/internal/serve"
+)
+
+// stallPlan burns well over a microsecond of simulated latency on every
+// attempt (a 2ms stream stall per launch) and fails every launch, so a
+// tiny per-request deadline is guaranteed to expire before any
+// accelerated tier serves.
+func stallPlan(seed string) faults.Plan {
+	return faults.Plan{
+		Seed:           seed,
+		LaunchFailRate: 1,
+		StallRate:      1,
+		StallSec:       2e-3,
+	}
+}
+
+// A request whose per-request deadline expires before any tier serves is
+// abandoned with the typed error, never answered late and never an
+// untyped string.
+func TestDoDeadlineAbortsWithTypedError(t *testing.T) {
+	_, _, _, inputs := fixture(t)
+	ex := newExec(t, stallPlan("dl-abort").New("nx"), nil)
+	res, err := ex.DoDeadline(inputs[0], 0, 1e-6)
+	if err == nil {
+		t.Fatalf("expected deadline abort, got result %+v", res)
+	}
+	if !errors.Is(err, serve.ErrDeadlineExceeded) {
+		t.Fatalf("error %v is not serve.ErrDeadlineExceeded", err)
+	}
+	st := ex.Stats()
+	if st.DeadlineAborts != 1 {
+		t.Fatalf("DeadlineAborts = %d, want 1", st.DeadlineAborts)
+	}
+	if st.DeadlineMisses == 0 {
+		t.Fatalf("an aborted request must also count as a deadline miss: %+v", st)
+	}
+}
+
+// DoBatchDeadline shares the abort contract.
+func TestDoBatchDeadlineAbortsWithTypedError(t *testing.T) {
+	_, _, _, inputs := fixture(t)
+	ex := newExec(t, stallPlan("dl-batch-abort").New("nx"), nil)
+	_, err := ex.DoBatchDeadline(inputs[:4], 0, 1e-6)
+	if !errors.Is(err, serve.ErrDeadlineExceeded) {
+		t.Fatalf("error %v is not serve.ErrDeadlineExceeded", err)
+	}
+	if got := ex.Stats().DeadlineAborts; got != 1 {
+		t.Fatalf("DeadlineAborts = %d, want 1", got)
+	}
+}
+
+// With a generous per-request deadline on a pristine executor, the
+// deadline variants are bit-identical to Do/DoBatch: same tier, same
+// latency, same outputs, no misses, no error.
+func TestDoDeadlinePristineMatchesDo(t *testing.T) {
+	_, _, _, inputs := fixture(t)
+	ex := newExec(t, nil, nil)
+	want, err := ex.Do(inputs[0], 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ex.DoDeadline(inputs[0], 7, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tier != want.Tier || got.LatencySec != want.LatencySec || got.DeadlineMiss {
+		t.Fatalf("DoDeadline %+v differs from Do %+v", got, want)
+	}
+	if !sameOutputs(got.Outputs, want.Outputs) {
+		t.Fatal("DoDeadline outputs differ from Do")
+	}
+
+	wb, err := ex.DoBatch(inputs[:3], 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := ex.DoBatchDeadline(inputs[:3], 8, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gb.LatencySec != wb.LatencySec || gb.Tier != wb.Tier || gb.DeadlineMiss {
+		t.Fatalf("DoBatchDeadline %+v differs from DoBatch %+v", gb, wb)
+	}
+	for i := range wb.Outputs {
+		if !sameOutputs(gb.Outputs[i], wb.Outputs[i]) {
+			t.Fatalf("batch image %d outputs differ", i)
+		}
+	}
+}
+
+// The per-request budget clamps against the configured deadline: the
+// tighter of the two governs. A configured 1µs deadline must abort even
+// when the per-request budget is generous.
+func TestDoDeadlineClampsAgainstConfig(t *testing.T) {
+	_, _, _, inputs := fixture(t)
+	ex := newExec(t, stallPlan("dl-clamp").New("nx"), func(c *serve.Config) { c.DeadlineSec = 1e-6 })
+	if _, err := ex.DoDeadline(inputs[0], 0, 10); !errors.Is(err, serve.ErrDeadlineExceeded) {
+		t.Fatalf("config deadline did not clamp the request budget: err=%v", err)
+	}
+}
+
+// Do keeps the historical answer-late contract even when the same
+// scenario would abort DoDeadline: every request is answered, via FP32,
+// with the miss recorded — never ErrDeadlineExceeded.
+func TestDoStillAnswersLate(t *testing.T) {
+	_, _, _, inputs := fixture(t)
+	ex := newExec(t, stallPlan("dl-late").New("nx"), func(c *serve.Config) { c.DeadlineSec = 1e-6 })
+	res, err := ex.Do(inputs[0], 0)
+	if err != nil {
+		t.Fatalf("Do must not return deadline errors: %v", err)
+	}
+	if res.Tier != serve.TierFP32 || !res.DeadlineMiss || res.Outputs == nil {
+		t.Fatalf("late request not answered by FP32 with a recorded miss: %+v", res)
+	}
+	if got := ex.Stats().DeadlineAborts; got != 0 {
+		t.Fatalf("Do counted %d deadline aborts", got)
+	}
+}

@@ -163,3 +163,99 @@ func TestPoolConcurrentDo(t *testing.T) {
 		t.Fatalf("requests %d, want %d", got, workers*perWorker)
 	}
 }
+
+// Pool.Health / Pool.Stats polled and invariant-checked while replica
+// havoc drives quarantine/readmission churn (issue satellite): every
+// snapshot a concurrent observer can take must be internally consistent
+// — Active matches the dispatch-eligible replica states, every state
+// name is a real state, slots stay put, and the healing counters only
+// ever move forward.
+func TestPoolHealthInvariantsUnderChurn(t *testing.T) {
+	_, _, _, inputs := fixture(t)
+	reg := serve.NewRegistry(gpusim.XavierNX(), nil)
+	p, err := serve.NewPool(reg, serve.PoolConfig{
+		Model:           "resnet18",
+		Quorum:          true,
+		ReplicaInjector: havocOn(2, "race-health"),
+		Canary:          inputs[:2],
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dispatchable := map[string]bool{"healthy": true, "suspect": true, "readmitted": true}
+	known := map[string]bool{
+		"healthy": true, "suspect": true, "quarantined": true,
+		"rebuilding": true, "readmitted": true,
+	}
+
+	const workers, perWorker = 6, 5
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*perWorker+64)
+	stop := make(chan struct{})
+	pollerDone := make(chan struct{})
+	go func() {
+		defer close(pollerDone)
+		var prev serve.PoolStats
+		polls := 0
+		for {
+			select {
+			case <-stop:
+				if polls == 0 {
+					errs <- fmt.Errorf("health poller never ran")
+				}
+				return
+			default:
+			}
+			polls++
+			h := p.Health()
+			eligible := 0
+			for i, r := range h.Replicas {
+				if !known[r.State] {
+					errs <- fmt.Errorf("replica %d in unknown state %q", r.Slot, r.State)
+				}
+				if r.Slot != i {
+					errs <- fmt.Errorf("replica slot %d reported at index %d", r.Slot, i)
+				}
+				if dispatchable[r.State] {
+					eligible++
+				}
+			}
+			if h.Active != eligible {
+				errs <- fmt.Errorf("health says %d active, states say %d: %+v", h.Active, eligible, h.Replicas)
+			}
+			s := p.Stats()
+			if s.Requests < prev.Requests || s.Quarantines < prev.Quarantines ||
+				s.Rebuilds < prev.Rebuilds || s.Readmissions < prev.Readmissions ||
+				s.Detections < prev.Detections {
+				errs <- fmt.Errorf("pool counters moved backwards: %+v -> %+v", prev, s)
+			}
+			if s.Readmissions > s.Quarantines {
+				errs <- fmt.Errorf("%d readmissions exceed %d quarantines", s.Readmissions, s.Quarantines)
+			}
+			prev = s
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if _, err := p.Do(inputs[(w+i)%len(inputs)], w*perWorker+i); err != nil {
+					errs <- err
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	<-pollerDone
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// The havoc plan must actually have exercised the lifecycle, or the
+	// invariants above were vacuous.
+	if s := p.Stats(); s.Quarantines == 0 {
+		t.Fatalf("no quarantine churn under havoc: %+v", s)
+	}
+}

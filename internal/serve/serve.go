@@ -17,6 +17,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -26,6 +27,14 @@ import (
 	"edgeinfer/internal/graph"
 	"edgeinfer/internal/tensor"
 )
+
+// ErrDeadlineExceeded is the typed deadline error: DoDeadline and
+// DoBatchDeadline return it (wrapped, test with errors.Is) when a
+// request's deadline expires before any tier has produced an answer, so
+// a serving front-end can map deadline misses to a distinct status code
+// and metric instead of string-matching. Do and DoBatch never return it:
+// they keep the historical answer-late-rather-than-never contract.
+var ErrDeadlineExceeded = errors.New("serve: request deadline exceeded")
 
 // Tier identifies which stage of the degradation chain served a request.
 type Tier int
@@ -135,6 +144,11 @@ type Result struct {
 	// DeadlineMiss reports the accumulated latency exceeded the deadline
 	// (the request is still answered, by a cheaper tier).
 	DeadlineMiss bool
+
+	// deadlineSec is this request's effective deadline: the config
+	// deadline for Do/DoBatch, clamped with the per-request budget for
+	// DoDeadline/DoBatchDeadline. Zero means none.
+	deadlineSec float64
 }
 
 // Stats are the executor's cumulative degradation counters.
@@ -150,6 +164,9 @@ type Stats struct {
 	// BackoffClamps counts retry backoffs truncated because the full
 	// jittered wait would have overshot the request deadline.
 	BackoffClamps uint64
+	// DeadlineAborts counts requests abandoned with ErrDeadlineExceeded
+	// (DoDeadline/DoBatchDeadline only; Do always answers).
+	DeadlineAborts uint64
 }
 
 // Health is the executor's heartbeat view.
@@ -280,6 +297,30 @@ func (ex *Executor) count(f func(s *Stats)) {
 	ex.mu.Unlock()
 }
 
+// effectiveDeadline clamps the configured deadline with a per-request
+// budget; zero values mean "no bound" on that side.
+func (ex *Executor) effectiveDeadline(deadlineSec float64) float64 {
+	eff := ex.cfg.DeadlineSec
+	if deadlineSec > 0 && (eff <= 0 || deadlineSec < eff) {
+		eff = deadlineSec
+	}
+	return eff
+}
+
+// abortLate decides the terminal-tier fate of a deadline-expired request:
+// answer-late (Do/DoBatch) or abandon with the typed error
+// (DoDeadline/DoBatchDeadline). It must be called before the FP32 tier
+// pays its reference pass, so an abandoned request never burns the
+// fallback's latency.
+func (ex *Executor) abortLate(res *Result, abort bool) error {
+	if !abort || !ex.deadlineExceeded(res) {
+		return nil
+	}
+	ex.count(func(s *Stats) { s.DeadlineAborts++ })
+	return fmt.Errorf("serve: request abandoned at %.3gs of a %.3gs budget: %w",
+		res.LatencySec, res.deadlineSec, ErrDeadlineExceeded)
+}
+
 // Do serves one request: a timed pass over the engine plan and — when x
 // is non-nil and the serving tier is numeric — a numeric inference whose
 // outputs are returned. With a nil or zero-rate injector the result is
@@ -288,8 +329,23 @@ func (ex *Executor) count(f func(s *Stats)) {
 // FP32 reference path itself cannot serve (a configuration bug, not a
 // device fault).
 func (ex *Executor) Do(x *tensor.Tensor, runIndex int) (*Result, error) {
+	return ex.do(x, runIndex, ex.cfg.DeadlineSec, false)
+}
+
+// DoDeadline is Do under a per-request deadline (clamped with the
+// configured DeadlineSec). Unlike Do, a request whose deadline expires
+// before any tier has served is abandoned with a wrapped
+// ErrDeadlineExceeded instead of falling through to the FP32 tier — the
+// answer could only arrive after the client stopped caring, so the
+// reference pass is not paid. A request served late by the tier that was
+// already running still gets its answer, with DeadlineMiss set.
+func (ex *Executor) DoDeadline(x *tensor.Tensor, runIndex int, deadlineSec float64) (*Result, error) {
+	return ex.do(x, runIndex, ex.effectiveDeadline(deadlineSec), true)
+}
+
+func (ex *Executor) do(x *tensor.Tensor, runIndex int, deadlineSec float64, abort bool) (*Result, error) {
 	ex.count(func(s *Stats) { s.Requests++ })
-	res := &Result{Tier: TierFP32}
+	res := &Result{Tier: TierFP32, deadlineSec: deadlineSec}
 
 	tryTuned := ex.admitTuned()
 	alloc, _ := ex.cfg.Injector.(Allocator)
@@ -340,6 +396,9 @@ func (ex *Executor) Do(x *tensor.Tensor, runIndex int) (*Result, error) {
 
 	// Terminal tier: the FP32 host path, outside the accelerator fault
 	// domain. UnoptimizedRun prices the framework's reference execution.
+	if err := ex.abortLate(res, abort); err != nil {
+		return nil, err
+	}
 	res.LatencySec += core.UnoptimizedRun(ex.cfg.Fallback, ex.cfg.Device)
 	ex.deadlineExceeded(res) // count the miss if the fallback pushed us over
 	if x != nil {
@@ -399,8 +458,8 @@ func (ex *Executor) retryWait(attempt int, res *Result) bool {
 	res.Retries++
 	ex.count(func(s *Stats) { s.Retries++ })
 	wait := ex.backoff(attempt)
-	if ex.cfg.DeadlineSec > 0 {
-		if remain := ex.cfg.DeadlineSec - res.LatencySec; wait > remain {
+	if res.deadlineSec > 0 {
+		if remain := res.deadlineSec - res.LatencySec; wait > remain {
 			if remain < 0 {
 				remain = 0
 			}
@@ -414,7 +473,7 @@ func (ex *Executor) retryWait(attempt int, res *Result) bool {
 
 // deadlineExceeded checks (and counts, once) the request deadline.
 func (ex *Executor) deadlineExceeded(res *Result) bool {
-	if ex.cfg.DeadlineSec <= 0 || res.LatencySec <= ex.cfg.DeadlineSec {
+	if res.deadlineSec <= 0 || res.LatencySec <= res.deadlineSec {
 		return false
 	}
 	if !res.DeadlineMiss {
