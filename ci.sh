@@ -5,9 +5,12 @@
 # caches), the shared-timing-cache fleet-convergence audit (warm rebuilds
 # must be byte-identical), the chaos smoke (a short replica-fleet soak
 # that must show zero wrong-answer escapes and zero leaked quarantines),
-# the rtlint static-analysis suite — source analyzers over the
-# module, then static plan-IR verification of every classifier engine
-# the results are generated from — a benchmark smoke over the hot
+# the rtlint static-analysis suite — all eight source analyzers over
+# the module, diffed against the checked-in rtlint_baseline.json ledger
+# (any finding not in the ledger fails the gate; the ledger is currently
+# empty, so the tree must stay clean), then static plan-IR verification
+# of every classifier engine the results are generated from — a
+# benchmark smoke over the hot
 # numeric paths, archived as BENCH_numeric.json so ns/op and allocs/op
 # regressions are diffable across commits, and the serving soak (an
 # open-loop 2x-overload run against the netserve front-end that must
@@ -22,7 +25,7 @@ go test -run='^$' -fuzz='^FuzzLoad$' -fuzztime=10s ./internal/core
 go test -run='^$' -fuzz='^FuzzLoadTimingCache$' -fuzztime=5s ./internal/core
 go run ./cmd/fleetcheck -model resnet18 -sharedCache
 go run ./cmd/chaosbench -smoke -requests 30 -out ''
-go run ./cmd/rtlint ./...
+go run ./cmd/rtlint -json -baseline rtlint_baseline.json ./...
 go run ./cmd/rtlint -plancheck
 go test -run='^$' -bench='^(BenchmarkNumericInference|BenchmarkEngineBuild|BenchmarkInferBatch)$' \
   -benchmem -benchtime=1x . | go run ./cmd/benchjson -out BENCH_numeric.json

@@ -1,20 +1,29 @@
 // Command rtlint is the repository's static-analysis gate. With no
 // flags it loads the enclosing module and runs the source analyzers
-// (determinism, panicpath, errcheck, floatorder); error-severity
-// findings fail the build. Plan IR is checked statically too:
+// (determinism, panicpath, errcheck, floatorder, lockorder, goleak,
+// hotalloc, deadlineflow); error-severity findings fail the build.
+// Plan IR is checked statically too:
 //
-//	rtlint                  analyze the module's source (package args ignored)
-//	rtlint -plan file.plan  verify a serialized engine plan on disk
-//	rtlint -plancheck       build + serialize + verify every classifier plan
+//	rtlint                        analyze the module's source
+//	rtlint -json                  machine-readable findings on stdout
+//	rtlint -baseline f.json       fail only on findings absent from the ledger
+//	rtlint -write-baseline f.json write the current findings as the ledger
+//	rtlint -plan file.plan        verify a serialized engine plan on disk
+//	rtlint -plancheck             build + serialize + verify every classifier plan
 //
 // Findings are suppressed per line with
-// `//rtlint:allow <analyzer>[, ...] -- <justification>`.
+// `//rtlint:allow <analyzer>[, ...] -- <justification>` or the compact
+// `//rt:allow <analyzer> <justification>`; every suppression is printed
+// with its justification so directives stay auditable.
 package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"go/token"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -29,6 +38,9 @@ import (
 func main() {
 	planFile := flag.String("plan", "", "verify the serialized engine plan at this path instead of analyzing source")
 	planCheck := flag.Bool("plancheck", false, "build, serialize and statically verify every classifier model plan")
+	jsonOut := flag.Bool("json", false, "emit findings and suppressions as JSON")
+	baseline := flag.String("baseline", "", "compare findings against this ledger: new findings fail, grandfathered ones pass")
+	writeBaseline := flag.String("write-baseline", "", "write the current error findings to this ledger file and exit 0")
 	flag.Parse()
 
 	var exit int
@@ -38,15 +50,29 @@ func main() {
 	case *planCheck:
 		exit = runPlanCheck()
 	default:
-		exit = runSource()
+		exit = runSource(os.Stdout, *jsonOut, *baseline, *writeBaseline)
 	}
 	os.Exit(exit)
+}
+
+// sourceAnalyzers is the full analyzer suite the gate runs.
+func sourceAnalyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		analysis.Determinism(analysis.DefaultRestricted),
+		analysis.PanicPath(analysis.DefaultPanicRoots),
+		analysis.ErrCheck(),
+		analysis.FloatOrder(),
+		analysis.LockOrder(analysis.DefaultBlockingFuncs),
+		analysis.GoLeak(analysis.DefaultGoroutinePackages),
+		analysis.HotAlloc(),
+		analysis.DeadlineFlow(),
+	}
 }
 
 // runSource analyzes the module containing the working directory.
 // Positional package patterns ("./...") are accepted for familiarity but
 // the whole module is always analyzed.
-func runSource() int {
+func runSource(w io.Writer, jsonOut bool, baselinePath, writeBaselinePath string) int {
 	root, err := findModuleRoot()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rtlint:", err)
@@ -57,21 +83,104 @@ func runSource() int {
 		fmt.Fprintln(os.Stderr, "rtlint:", err)
 		return 2
 	}
-	analyzers := []*analysis.Analyzer{
-		analysis.Determinism(analysis.DefaultRestricted),
-		analysis.PanicPath(analysis.DefaultPanicRoots),
-		analysis.ErrCheck(),
-		analysis.FloatOrder(),
+	findings, suppressed := analysis.RunAll(m, sourceAnalyzers())
+	if writeBaselinePath != "" {
+		b := analysis.NewBaseline(m, findings)
+		if err := b.Write(writeBaselinePath); err != nil {
+			fmt.Fprintln(os.Stderr, "rtlint:", err)
+			return 2
+		}
+		fmt.Fprintf(w, "rtlint: wrote %d baseline entrie(s) to %s\n", len(b.Findings), writeBaselinePath)
+		return 0
 	}
-	findings := analysis.RunAnalyzers(m, analyzers)
-	for _, f := range findings {
-		fmt.Println(f)
+	return verdict(w, m, findings, suppressed, jsonOut, baselinePath)
+}
+
+// jsonReport is the machine-readable output shape of `rtlint -json`.
+type jsonReport struct {
+	Findings     []jsonFinding     `json:"findings"`
+	Suppressions []jsonSuppression `json:"suppressions"`
+}
+
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	Severity string `json:"severity"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+type jsonSuppression struct {
+	jsonFinding
+	Reason string `json:"reason"`
+}
+
+// verdict renders the findings (text or JSON), applies the optional
+// baseline ledger, and decides the exit code. Pure with respect to its
+// inputs so baseline semantics are unit-testable.
+func verdict(w io.Writer, m *analysis.Module, findings []analysis.Finding,
+	suppressed []analysis.Suppression, jsonOut bool, baselinePath string) int {
+	if jsonOut {
+		rep := jsonReport{Findings: []jsonFinding{}, Suppressions: []jsonSuppression{}}
+		for _, f := range findings {
+			rep.Findings = append(rep.Findings, toJSONFinding(f.Analyzer, f.Severity, f.Pos, f.Message))
+		}
+		for _, s := range suppressed {
+			rep.Suppressions = append(rep.Suppressions, jsonSuppression{
+				jsonFinding: toJSONFinding(s.Analyzer, s.Severity, s.Pos, s.Message),
+				Reason:      s.Reason,
+			})
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "rtlint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(w, f)
+		}
+		for _, s := range suppressed {
+			fmt.Fprintln(w, s)
+		}
 	}
-	if analysis.HasErrors(findings) {
-		fmt.Fprintf(os.Stderr, "rtlint: %d finding(s)\n", len(findings))
+	if baselinePath == "" {
+		if analysis.HasErrors(findings) {
+			fmt.Fprintf(os.Stderr, "rtlint: %d finding(s)\n", len(findings))
+			return 1
+		}
+		return 0
+	}
+	base, err := analysis.LoadBaseline(baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rtlint:", err)
+		return 2
+	}
+	fresh, fixed := base.Diff(analysis.NewBaseline(m, findings))
+	for _, e := range fixed {
+		fmt.Fprintf(os.Stderr, "rtlint: baseline entry fixed, shrink %s: %s\n", baselinePath, e)
+	}
+	if len(fresh) > 0 {
+		for _, e := range fresh {
+			fmt.Fprintf(os.Stderr, "rtlint: new finding (not in baseline): %s\n", e)
+		}
+		fmt.Fprintf(os.Stderr, "rtlint: %d new finding group(s) vs %s\n", len(fresh), baselinePath)
 		return 1
 	}
 	return 0
+}
+
+func toJSONFinding(analyzer string, sev analysis.Severity, pos token.Position, msg string) jsonFinding {
+	return jsonFinding{
+		Analyzer: analyzer,
+		Severity: sev.String(),
+		File:     pos.Filename,
+		Line:     pos.Line,
+		Column:   pos.Column,
+		Message:  msg,
+	}
 }
 
 // findModuleRoot walks up from the working directory to the nearest

@@ -6,8 +6,13 @@
 // at a specific line with a
 //
 //	//rtlint:allow <analyzer>[, <analyzer>...] -- <justification>
+//	//rt:allow <analyzer> <justification>
 //
 // directive placed on the flagged line or on the line directly above it.
+// Suppressions are recorded (with their justifications) and surfaced by
+// the driver, never silently swallowed. Functions annotated
+// `//rt:hotpath` in their doc comment opt into the hotalloc analyzer's
+// static allocation-freedom check.
 package analysis
 
 import (
@@ -57,19 +62,50 @@ type Analyzer struct {
 	Run func(m *Module, r *Reporter)
 }
 
+// Suppression is a finding an allow directive silenced, kept so the
+// driver can surface every active suppression with its justification —
+// a directive that fires silently is a directive nobody re-audits.
+type Suppression struct {
+	Analyzer string
+	Severity Severity
+	Pos      token.Position
+	Message  string
+	Reason   string
+}
+
+// String renders the suppression with its justification.
+func (s Suppression) String() string {
+	reason := s.Reason
+	if reason == "" {
+		reason = "no justification given"
+	}
+	return fmt.Sprintf("%s:%d:%d: allowed: [%s] %s (%s)",
+		s.Pos.Filename, s.Pos.Line, s.Pos.Column, s.Analyzer, s.Message, reason)
+}
+
 // Reporter collects findings for one analyzer, applying allow-directive
 // suppression at report time.
 type Reporter struct {
-	module   *Module
-	analyzer string
-	findings *[]Finding
+	module     *Module
+	analyzer   string
+	findings   *[]Finding
+	suppressed *[]Suppression
 }
 
 // Report records a finding at pos unless an allow directive suppresses
-// it there.
+// it there (in which case the suppression itself is recorded).
 func (r *Reporter) Report(sev Severity, pos token.Pos, format string, args ...any) {
 	p := r.module.Fset.Position(pos)
-	if r.module.Allowed(r.analyzer, p.Filename, p.Line) {
+	if ok, reason := r.module.Allowed(r.analyzer, p.Filename, p.Line); ok {
+		if r.suppressed != nil {
+			*r.suppressed = append(*r.suppressed, Suppression{
+				Analyzer: r.analyzer,
+				Severity: sev,
+				Pos:      p,
+				Message:  fmt.Sprintf(format, args...),
+				Reason:   reason,
+			})
+		}
 		return
 	}
 	*r.findings = append(*r.findings, Finding{
@@ -80,28 +116,43 @@ func (r *Reporter) Report(sev Severity, pos token.Pos, format string, args ...an
 	})
 }
 
-// RunAnalyzers executes every analyzer over the module and returns all
-// findings sorted by position, then analyzer name.
-func RunAnalyzers(m *Module, analyzers []*Analyzer) []Finding {
+// RunAll executes every analyzer over the module and returns the
+// findings plus the suppressions allow directives fired on, both sorted
+// by position, then analyzer name.
+func RunAll(m *Module, analyzers []*Analyzer) ([]Finding, []Suppression) {
 	var findings []Finding
+	var suppressed []Suppression
 	for _, a := range analyzers {
-		r := &Reporter{module: m, analyzer: a.Name, findings: &findings}
+		r := &Reporter{module: m, analyzer: a.Name, findings: &findings, suppressed: &suppressed}
 		a.Run(m, r)
 	}
 	sort.Slice(findings, func(i, j int) bool {
-		a, b := findings[i], findings[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
-		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
-		}
-		if a.Pos.Column != b.Pos.Column {
-			return a.Pos.Column < b.Pos.Column
-		}
-		return a.Analyzer < b.Analyzer
+		return posLess(findings[i].Pos, findings[j].Pos, findings[i].Analyzer, findings[j].Analyzer)
 	})
+	sort.Slice(suppressed, func(i, j int) bool {
+		return posLess(suppressed[i].Pos, suppressed[j].Pos, suppressed[i].Analyzer, suppressed[j].Analyzer)
+	})
+	return findings, suppressed
+}
+
+// RunAnalyzers is RunAll without the suppression report.
+func RunAnalyzers(m *Module, analyzers []*Analyzer) []Finding {
+	findings, _ := RunAll(m, analyzers)
 	return findings
+}
+
+// posLess is the canonical finding order: file, line, column, analyzer.
+func posLess(a, b token.Position, an, bn string) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	if a.Column != b.Column {
+		return a.Column < b.Column
+	}
+	return an < bn
 }
 
 // HasErrors reports whether any finding is error severity.

@@ -18,6 +18,10 @@ func fixtureAnalyzers() []*Analyzer {
 		PanicPath(DefaultPanicRoots),
 		ErrCheck(),
 		FloatOrder(),
+		LockOrder(DefaultBlockingFuncs),
+		GoLeak(DefaultGoroutinePackages),
+		HotAlloc(),
+		DeadlineFlow(),
 	}
 }
 
@@ -136,7 +140,7 @@ func TestAllowDirectiveSuppresses(t *testing.T) {
 			return err
 		}
 		for i, line := range strings.Split(string(data), "\n") {
-			if strings.Contains(line, "rtlint:allow") {
+			if strings.Contains(line, "rtlint:allow") || strings.Contains(line, "rt:allow") {
 				directiveLines[fmt.Sprintf("%s:%d", path, i+1)] = true
 				directiveLines[fmt.Sprintf("%s:%d", path, i+2)] = true
 			}
@@ -152,6 +156,55 @@ func TestAllowDirectiveSuppresses(t *testing.T) {
 	for _, f := range findings {
 		if directiveLines[fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line)] {
 			t.Errorf("finding on a directive-suppressed line: %s", f)
+		}
+	}
+}
+
+// TestSuppressionsCarryReasons: RunAll's suppression records surface
+// each directive's analyzer and justification, for both the legacy
+// `//rtlint:allow a -- why` and the compact `//rt:allow a why` grammar.
+func TestSuppressionsCarryReasons(t *testing.T) {
+	m := loadFixture(t)
+	_, suppressed := RunAll(m, fixtureAnalyzers())
+	if len(suppressed) == 0 {
+		t.Fatal("fixtures carry allow directives; no suppressions recorded")
+	}
+	byAnalyzer := map[string]bool{}
+	for _, s := range suppressed {
+		byAnalyzer[s.Analyzer] = true
+		if s.Reason == "" {
+			t.Errorf("suppression %s carries no reason", s)
+		}
+		if r := s.String(); !strings.Contains(r, "allowed: ") || !strings.Contains(r, s.Reason) {
+			t.Errorf("suppression rendering %q does not surface the reason", r)
+		}
+	}
+	for _, a := range []string{"determinism", "lockorder", "goleak", "hotalloc", "deadlineflow"} {
+		if !byAnalyzer[a] {
+			t.Errorf("no suppression recorded for the fixture's %s directive", a)
+		}
+	}
+}
+
+// TestParseAllowGrammars pins the two directive grammars side by side.
+func TestParseAllowGrammars(t *testing.T) {
+	cases := []struct {
+		text    string
+		compact bool
+		names   []string
+		reason  string
+	}{
+		{"determinism -- seeded fixture", false, []string{"determinism"}, "seeded fixture"},
+		{"lockorder, goleak -- drain owns both", false, []string{"lockorder", "goleak"}, "drain owns both"},
+		{"hotalloc warm-up only", true, []string{"hotalloc"}, "warm-up only"},
+		{"deadlineflow -- explicit separator still works", true, []string{"deadlineflow"}, "explicit separator still works"},
+		{"Prose, not a directive body", true, nil, ""},
+	}
+	for _, c := range cases {
+		names, reason := parseAllow(c.text, c.compact)
+		if strings.Join(names, ",") != strings.Join(c.names, ",") || reason != c.reason {
+			t.Errorf("parseAllow(%q, compact=%v) = %v, %q; want %v, %q",
+				c.text, c.compact, names, reason, c.names, c.reason)
 		}
 	}
 }

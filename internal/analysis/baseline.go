@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Baseline support: a checked-in ledger of grandfathered error-severity
+// findings. CI compares the current run against it — any finding not in
+// the ledger fails the build, while fixed findings prompt a shrink so
+// the ledger only ever ratchets down. Keys are (analyzer, file, message)
+// with an occurrence count, deliberately excluding line numbers so
+// unrelated edits to a file do not churn the ledger.
+
+// BaselineEntry is one grandfathered finding group.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	// File is module-relative and slash-separated.
+	File    string `json:"file"`
+	Message string `json:"message"`
+	Count   int    `json:"count"`
+}
+
+// Key identifies the entry's finding group.
+func (e BaselineEntry) Key() string {
+	return e.Analyzer + "\x00" + e.File + "\x00" + e.Message
+}
+
+// String renders the entry for human-readable diff output.
+func (e BaselineEntry) String() string {
+	return fmt.Sprintf("[%s] %s: %s (x%d)", e.Analyzer, e.File, e.Message, e.Count)
+}
+
+// Baseline is the on-disk ledger format.
+type Baseline struct {
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// NewBaseline groups a run's error-severity findings into a ledger.
+// Warnings never enter the baseline: they do not gate CI.
+func NewBaseline(m *Module, findings []Finding) *Baseline {
+	counts := map[string]*BaselineEntry{}
+	for _, f := range findings {
+		if f.Severity != Error {
+			continue
+		}
+		e := BaselineEntry{
+			Analyzer: f.Analyzer,
+			File:     moduleRelPath(m, f.Pos.Filename),
+			Message:  f.Message,
+			Count:    1,
+		}
+		if prev, ok := counts[e.Key()]; ok {
+			prev.Count++
+		} else {
+			counts[e.Key()] = &e
+		}
+	}
+	b := &Baseline{Findings: []BaselineEntry{}}
+	for _, e := range counts {
+		b.Findings = append(b.Findings, *e)
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		return b.Findings[i].Key() < b.Findings[j].Key()
+	})
+	return b
+}
+
+// moduleRelPath renders a position filename relative to the module root
+// with forward slashes, so baselines are stable across checkouts.
+func moduleRelPath(m *Module, filename string) string {
+	if rel, err := filepath.Rel(m.Dir, filename); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(filename)
+}
+
+// LoadBaseline reads a ledger from disk.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: read baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("analysis: parse baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// WriteBaseline writes the ledger as stable, human-diffable JSON.
+func (b *Baseline) Write(path string) error {
+	if b.Findings == nil {
+		b.Findings = []BaselineEntry{}
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Diff compares the current run against the ledger. fresh holds finding
+// groups absent from (or more numerous than) the baseline — these fail
+// CI. fixed holds baseline entries the current run no longer produces
+// (fully or partially) — these prompt shrinking the ledger.
+func (b *Baseline) Diff(current *Baseline) (fresh, fixed []BaselineEntry) {
+	base := map[string]int{}
+	for _, e := range b.Findings {
+		base[e.Key()] = e.Count
+	}
+	seen := map[string]int{}
+	for _, e := range current.Findings {
+		seen[e.Key()] = e.Count
+		if extra := e.Count - base[e.Key()]; extra > 0 {
+			n := e
+			n.Count = extra
+			fresh = append(fresh, n)
+		}
+	}
+	for _, e := range b.Findings {
+		if gone := e.Count - seen[e.Key()]; gone > 0 {
+			f := e
+			f.Count = gone
+			fixed = append(fixed, f)
+		}
+	}
+	return fresh, fixed
+}

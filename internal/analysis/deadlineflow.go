@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// deadlineflow catches the dropped-deadline bug class: a function that
+// accepts a deadline (a context.Context, or a parameter named like
+// deadlineSec/timeout/budget) calling a module function that has a
+// deadline-aware sibling — e.g. calling Pool.DoBatch from a path that
+// was handed a deadline when Pool.DoBatchDeadline exists. The request
+// then runs with no budget at all and the caller's deadline accounting
+// silently lies.
+//
+// A sibling is the same function name with a "Deadline" suffix on the
+// same receiver (Do -> DoDeadline, DoBatch -> DoBatchDeadline). Calls
+// already targeting a *Deadline function are never flagged. Goroutine
+// launches are skipped: work intentionally detached from the request
+// outlives its deadline by design and is goleak's jurisdiction.
+//
+// Known limitation (documented in DESIGN.md): the analyzer checks that
+// the deadline-aware sibling is chosen, not that the right value is
+// passed to it.
+
+// DeadlineFlow returns the deadline-threading analyzer.
+func DeadlineFlow() *Analyzer {
+	return &Analyzer{
+		Name: "deadlineflow",
+		Doc:  "deadline-carrying functions must call deadline-aware siblings",
+		Run:  runDeadlineFlow,
+	}
+}
+
+func runDeadlineFlow(m *Module, r *Reporter) {
+	decls := moduleFuncDecls(m)
+	ids := make([]string, 0, len(decls))
+	for id := range decls {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	for _, id := range ids {
+		d := decls[id]
+		param := deadlineParam(d.pkg.Info, d.fd)
+		if param == "" {
+			continue
+		}
+		info := d.pkg.Info
+		inspectWithStack(d.fd.Body, func(n ast.Node, stack []ast.Node) bool {
+			if _, ok := n.(*ast.GoStmt); ok {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := resolvedCallee(info, call)
+			if fn == nil || !moduleFunc(m, fn) || strings.HasSuffix(fn.Name(), "Deadline") {
+				return true
+			}
+			sibling := funcID(fn) + "Deadline"
+			if _, ok := decls[sibling]; !ok {
+				return true
+			}
+			r.Report(Error, call.Pos(),
+				"deadline parameter %q is dropped: %s has a deadline-aware sibling %s",
+				param, shortFuncID(funcID(fn)), shortFuncID(sibling))
+			return true
+		})
+	}
+}
+
+// deadlineParam returns the name of the first parameter that carries a
+// deadline — a context.Context, or a name containing deadline, timeout
+// or budget ("" when the function carries none).
+func deadlineParam(info *types.Info, fd *ast.FuncDecl) string {
+	if fd.Type.Params == nil {
+		return ""
+	}
+	for _, f := range fd.Type.Params.List {
+		for _, name := range f.Names {
+			lower := strings.ToLower(name.Name)
+			if strings.Contains(lower, "deadline") ||
+				strings.Contains(lower, "timeout") ||
+				strings.Contains(lower, "budget") {
+				return name.Name
+			}
+			if obj := info.Defs[name]; obj != nil && isContextType(obj.Type()) {
+				return name.Name
+			}
+		}
+	}
+	return ""
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "context" && n.Obj().Name() == "Context"
+}

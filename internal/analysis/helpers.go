@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Shared machinery for the concurrency/performance analyzers (lockorder,
+// goleak, hotalloc, deadlineflow): an index of every function body in the
+// module, call-edge resolution, and a witness-chain renderer for
+// transitive diagnostics.
+
+// declInfo is one declared function body plus the package context needed
+// to resolve identifiers inside it.
+type declInfo struct {
+	pkg *Package
+	fd  *ast.FuncDecl
+	id  string
+}
+
+// moduleFuncDecls indexes every function declaration in the module by
+// canonical funcID.
+func moduleFuncDecls(m *Module) map[string]*declInfo {
+	decls := map[string]*declInfo{}
+	for _, pkg := range m.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				id := funcID(obj)
+				decls[id] = &declInfo{pkg: pkg, fd: fd, id: id}
+			}
+		}
+	}
+	return decls
+}
+
+// resolvedCallee returns the *types.Func a call statically resolves to
+// (module or standard library), or nil for builtins, function values and
+// interface-method calls.
+func resolvedCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	return calleeFunc(info, call)
+}
+
+// moduleCalleeID returns the funcID of a call's target when it is a
+// module function with a body, else "".
+func moduleCalleeID(m *Module, pkg *Package, call *ast.CallExpr) string {
+	f := calleeFunc(pkg.Info, call)
+	if f == nil || !moduleFunc(m, f) {
+		return ""
+	}
+	return funcID(f)
+}
+
+// exprKey renders a lock receiver expression ("p.mu", "pool.mu") as a
+// stable string key. Distinct dynamic instances sharing a key (e.g. the
+// same field of two different structs in one function) are conservatively
+// treated as one lock.
+func exprKey(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprKey(e.X) + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return exprKey(e.X)
+	case *ast.IndexExpr:
+		return exprKey(e.X) + "[i]"
+	case *ast.CallExpr:
+		return exprKey(e.Fun) + "()"
+	}
+	return "?"
+}
+
+// witnessChain renders a transitive diagnosis "f -> g -> h: <why>" from
+// a per-function witness map (each entry names the callee that carries
+// the property, terminated by a direct description).
+type witness struct {
+	next string // callee id carrying the property ("" for a direct site)
+	why  string // direct description at the chain's end
+}
+
+func renderChain(witnesses map[string]witness, start string) string {
+	var hops []string
+	seen := map[string]bool{}
+	cur := start
+	for cur != "" && !seen[cur] {
+		seen[cur] = true
+		hops = append(hops, shortFuncID(cur))
+		w, ok := witnesses[cur]
+		if !ok {
+			break
+		}
+		if w.next == "" {
+			return strings.Join(hops, " -> ") + ": " + w.why
+		}
+		cur = w.next
+	}
+	return strings.Join(hops, " -> ")
+}
+
+// propagate computes the transitive closure of a per-function property
+// over static call edges: any function calling a property-carrying
+// function carries it too, with the callee recorded as witness. direct
+// holds the seed set (witnesses with next == ""); callees the per-
+// function outgoing edges. The fixed point is deterministic: functions
+// and edges are visited in sorted order.
+func propagate(direct map[string]witness, callees map[string][]string) map[string]witness {
+	out := make(map[string]witness, len(direct))
+	for id, w := range direct {
+		out[id] = w
+	}
+	ids := make([]string, 0, len(callees))
+	for id := range callees {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for changed := true; changed; {
+		changed = false
+		for _, id := range ids {
+			if _, ok := out[id]; ok {
+				continue
+			}
+			for _, c := range callees[id] {
+				if _, ok := out[c]; ok {
+					out[id] = witness{next: c}
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// funcLitInvokedInline reports whether a function literal's body runs
+// within the enclosing function's own control flow: immediately invoked
+// (`func(){...}()`) or deferred (defers run before the function returns,
+// within its dynamic extent). Literals launched with `go` or stored for
+// later run elsewhere.
+func funcLitInvokedInline(stack []ast.Node, lit *ast.FuncLit) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	parent := stack[len(stack)-2]
+	call, ok := parent.(*ast.CallExpr)
+	if !ok || ast.Unparen(call.Fun) != ast.Expr(lit) {
+		return false
+	}
+	if len(stack) < 3 {
+		return true
+	}
+	switch stack[len(stack)-3].(type) {
+	case *ast.GoStmt:
+		return false
+	case *ast.DeferStmt:
+		return true
+	}
+	return true
+}
+
+// inspectWithStack walks a subtree keeping the ancestor stack, calling f
+// with each node and its path from the root (inclusive). Returning false
+// from f prunes the subtree.
+func inspectWithStack(root ast.Node, f func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if !f(n, stack) {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		return true
+	})
+}

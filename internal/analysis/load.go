@@ -26,9 +26,10 @@ type Module struct {
 	// Packages in dependency (topological) order.
 	Packages []*Package
 
-	// allow maps file -> line -> analyzer names suppressed by an
-	// `//rtlint:allow <analyzers>` directive on that line.
-	allow map[string]map[int]map[string]bool
+	// allow maps file -> line -> analyzer name -> justification for
+	// findings suppressed by an `//rtlint:allow` or `//rt:allow`
+	// directive on that line.
+	allow map[string]map[int]map[string]string
 }
 
 // Package is one type-checked package of the module. Test files
@@ -64,7 +65,7 @@ func LoadModule(root string) (*Module, error) {
 		Path:  modPath,
 		Dir:   abs,
 		Fset:  token.NewFileSet(),
-		allow: map[string]map[int]map[string]bool{},
+		allow: map[string]map[int]map[string]string{},
 	}
 	dirs, err := packageDirs(abs)
 	if err != nil {
@@ -266,43 +267,78 @@ func (m *moduleImporter) Import(path string) (*types.Package, error) {
 	return m.std.Import(path)
 }
 
-// recordDirectives scans a file's comments for rtlint:allow directives.
+// recordDirectives scans a file's comments for suppression directives.
+// Two grammars are accepted:
+//
+//	//rtlint:allow <analyzer>[, <analyzer>...] -- <justification>
+//	//rt:allow <analyzer> <justification>
+//	//rt:allow <analyzer>[, <analyzer>...] -- <justification>
+//
 // A directive suppresses matching findings on its own line and on the
 // line immediately following (so it can trail the flagged statement or
-// sit on its own line above it).
+// sit on its own line above it). The justification is kept and surfaced
+// with every suppression the directive fires on.
 func (m *Module) recordDirectives(file *ast.File) {
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
 			body := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
-			text, ok := strings.CutPrefix(body, "rtlint:allow")
-			if !ok {
+			var text string
+			var compact bool
+			if t, ok := strings.CutPrefix(body, "rtlint:allow"); ok {
+				text = t
+			} else if t, ok := strings.CutPrefix(body, "rt:allow"); ok {
+				text, compact = t, true
+			} else {
+				continue
+			}
+			names, reason := parseAllow(text, compact)
+			if len(names) == 0 {
 				continue
 			}
 			pos := m.Fset.Position(c.Pos())
 			byLine := m.allow[pos.Filename]
 			if byLine == nil {
-				byLine = map[int]map[string]bool{}
+				byLine = map[int]map[string]string{}
 				m.allow[pos.Filename] = byLine
 			}
 			set := byLine[pos.Line]
 			if set == nil {
-				set = map[string]bool{}
+				set = map[string]string{}
 				byLine[pos.Line] = set
 			}
-			// Everything after the analyzer name list is free-form
-			// justification; names are the leading comma/space separated
-			// identifiers.
-			for _, f := range strings.FieldsFunc(text, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
-				if f == "" {
-					continue
-				}
-				if !isAnalyzerName(f) {
-					break // start of the justification text
-				}
-				set[f] = true
+			for _, n := range names {
+				set[n] = reason
 			}
 		}
 	}
+}
+
+// parseAllow splits a directive body into analyzer names and the
+// justification. A `--` separates the name list from free-form text; in
+// the compact `//rt:allow <analyzer> <reason>` form (no `--`) the first
+// token is the one analyzer and everything after it is the reason.
+func parseAllow(text string, compact bool) (names []string, reason string) {
+	if before, after, ok := strings.Cut(text, "--"); ok {
+		reason = strings.TrimSpace(after)
+		text = before
+	} else if compact {
+		fields := strings.Fields(text)
+		if len(fields) == 0 || !isAnalyzerName(fields[0]) {
+			return nil, ""
+		}
+		rest := strings.TrimSpace(text)
+		return fields[:1], strings.TrimSpace(strings.TrimPrefix(rest, fields[0]))
+	}
+	for _, f := range strings.FieldsFunc(text, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+		if f == "" {
+			continue
+		}
+		if !isAnalyzerName(f) {
+			break // start of untagged justification text
+		}
+		names = append(names, f)
+	}
+	return names, reason
 }
 
 // isAnalyzerName reports whether s looks like an analyzer identifier
@@ -321,16 +357,18 @@ func isAnalyzerName(s string) bool {
 }
 
 // Allowed reports whether findings of the named analyzer are suppressed
-// at file:line.
-func (m *Module) Allowed(analyzer, file string, line int) bool {
+// at file:line, and the directive's justification when they are.
+func (m *Module) Allowed(analyzer, file string, line int) (bool, string) {
 	byLine := m.allow[file]
 	if byLine == nil {
-		return false
+		return false, ""
 	}
 	for _, l := range [2]int{line, line - 1} {
-		if set := byLine[l]; set != nil && set[analyzer] {
-			return true
+		if set := byLine[l]; set != nil {
+			if reason, ok := set[analyzer]; ok {
+				return true, reason
+			}
 		}
 	}
-	return false
+	return false, ""
 }

@@ -1,0 +1,109 @@
+// Package serve is a lockorder and deadlineflow fixture. Executor.Do
+// matches the seeded blocking entry points (DefaultBlockingFuncs), so
+// holding a mutex across it is flagged without any call-graph proof;
+// the other cases exercise direct blocking operations, transitive
+// blocking through a module callee, and the deadline-sibling rule. A
+// marker comment naming an analyzer means the line must produce exactly
+// one finding of it.
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// Executor mirrors the real serving executor so the seeded blocking
+// list resolves against this module.
+type Executor struct{ n int }
+
+// Do matches "(*edgeinfer/internal/serve.Executor).Do".
+func (ex *Executor) Do(x int) int { return x + ex.n }
+
+// Queue is the lock-discipline specimen.
+type Queue struct {
+	mu sync.Mutex
+	ch chan int
+	ex *Executor
+}
+
+// SendUnderLock holds the mutex across a channel send.
+func (q *Queue) SendUnderLock(v int) {
+	q.mu.Lock()
+	q.ch <- v // want:lockorder
+	q.mu.Unlock()
+}
+
+// SleepUnderLock holds a deferred-unlock mutex across time.Sleep.
+func (q *Queue) SleepUnderLock() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	time.Sleep(time.Millisecond) // want:lockorder
+}
+
+// InferUnderLock holds the mutex across a seeded serving entry point.
+func (q *Queue) InferUnderLock(x int) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.ex.Do(x) // want:lockorder
+}
+
+// DrainUnderLock blocks transitively: drain receives from a channel.
+func (q *Queue) DrainUnderLock() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.drain() // want:lockorder
+}
+
+func (q *Queue) drain() int { return <-q.ch }
+
+// ReleaseFirst drops the lock before blocking: no finding.
+func (q *Queue) ReleaseFirst(v int) {
+	q.mu.Lock()
+	q.mu.Unlock()
+	q.ch <- v
+}
+
+// PollUnderLock uses select-with-default under the lock — non-blocking
+// by construction, no finding.
+func (q *Queue) PollUnderLock(v int) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select {
+	case q.ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// AllowedSend is sanctioned with a reason: suppressed, reason surfaced.
+func (q *Queue) AllowedSend(v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.ch <- v //rt:allow lockorder fixture proves compact-directive suppression
+}
+
+// Run and RunDeadline are the deadline-sibling pair.
+func (q *Queue) Run(x int) int { return x }
+
+// RunDeadline is Run under a budget.
+func (q *Queue) RunDeadline(x int, deadlineSec float64) int {
+	_ = deadlineSec
+	return x
+}
+
+// Serve drops its deadline: Run has a deadline-aware sibling.
+func (q *Queue) Serve(x int, deadlineSec float64) int {
+	return q.Run(x) // want:deadlineflow
+}
+
+// ServeBudget threads the budget into the sibling: no finding.
+func (q *Queue) ServeBudget(x int, deadlineSec float64) int {
+	return q.RunDeadline(x, deadlineSec)
+}
+
+// ServeAllowed documents why the plain call is correct here.
+func (q *Queue) ServeAllowed(x int, deadlineSec float64) int {
+	_ = deadlineSec
+	return q.Run(x) //rt:allow deadlineflow fixture: budget is checked before dispatch
+}

@@ -30,6 +30,10 @@ func newTensorArena() *tensorArena {
 }
 
 // get returns a buffer of the given shape, recycled if one is free.
+// Steady state hits the free list; the tensor.New calls are the warm-up
+// miss path.
+//
+//rt:hotpath
 func (a *tensorArena) get(n, c, h, w int) *tensor.Tensor {
 	if a == nil {
 		return tensor.New(n, c, h, w)
@@ -49,6 +53,8 @@ func (a *tensorArena) get(n, c, h, w int) *tensor.Tensor {
 
 // put returns a buffer to the free list. The caller must not retain any
 // reference to t afterwards.
+//
+//rt:hotpath
 func (a *tensorArena) put(t *tensor.Tensor) {
 	if a == nil || t == nil {
 		return
@@ -65,13 +71,16 @@ func (a *tensorArena) put(t *tensor.Tensor) {
 // keeping the graph outputs (which the caller now owns) and the caller's
 // input. Pass-through layers (dropout, single-input add) alias earlier
 // activations, so buffers are deduplicated by pointer before release.
+// Deduplication marks visited buffers in the caller's keep map instead
+// of allocating a per-call set.
+//
+//rt:hotpath
 func (a *tensorArena) releaseActs(owned []*tensor.Tensor, keep map[*tensor.Tensor]bool) {
-	seen := make(map[*tensor.Tensor]bool, len(owned))
 	for _, t := range owned {
-		if t == nil || keep[t] || seen[t] {
+		if t == nil || keep[t] {
 			continue
 		}
-		seen[t] = true
+		keep[t] = true // released: later aliases of t must not double-free
 		a.put(t)
 	}
 }

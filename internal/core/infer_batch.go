@@ -23,6 +23,8 @@ import (
 // InferBatch runs the engine numerically on a batch of inputs and
 // returns one output slice per input, in input order. It is
 // InferBatchFaulty on a pristine device.
+//
+//rt:hotpath
 func (e *Engine) InferBatch(xs []*tensor.Tensor) ([][]*tensor.Tensor, error) {
 	return e.InferBatchFaulty(xs, nil)
 }
@@ -46,13 +48,11 @@ func (e *Engine) InferBatchFaulty(xs []*tensor.Tensor, fi FaultInjector) ([][]*t
 	}
 	g := e.Graph
 	ar := e.bufArena()
-	acts := make([]map[string]*tensor.Tensor, len(xs))
-	for i := range acts {
-		acts[i] = make(map[string]*tensor.Tensor, len(g.Layers))
-	}
-	owned := make([]*tensor.Tensor, 0, len(g.Layers)*len(xs))
+	bs := batchScratchPool.Get().(*batchScratch)
+	acts := bs.actMaps(len(xs))
+	owned := bs.ownedBuf()
 	defer func() {
-		keep := make(map[*tensor.Tensor]bool, len(xs)*(len(g.Outputs)+1))
+		keep := bs.keepSet()
 		for _, x := range xs {
 			keep[x] = true
 		}
@@ -62,6 +62,7 @@ func (e *Engine) InferBatchFaulty(xs []*tensor.Tensor, fi FaultInjector) ([][]*t
 			}
 		}
 		ar.releaseActs(owned, keep)
+		bs.release(owned)
 	}()
 	for li, l := range g.Layers {
 		if fi != nil && l.Op != graph.OpInput {
@@ -96,7 +97,7 @@ func (e *Engine) InferBatchFaulty(xs []*tensor.Tensor, fi FaultInjector) ([][]*t
 			case isFC:
 				y, err = e.fcApply(l, acts[img], w, b, ar)
 			default:
-				ins := make([]*tensor.Tensor, len(l.Inputs))
+				ins := bs.inputs(len(l.Inputs))
 				for i, name := range l.Inputs {
 					ins[i] = acts[img][name]
 				}

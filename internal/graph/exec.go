@@ -6,6 +6,10 @@ import (
 	"edgeinfer/internal/tensor"
 )
 
+// batchNormKeys is hoisted: EvalLayer sits on the batched-inference hot
+// path and may not allocate the key list per call.
+var batchNormKeys = []string{"gamma", "beta", "mean", "var"}
+
 // Execute runs the graph numerically on input x using the bit-exact
 // reference operators of internal/tensor, in FP32 throughout. This is the
 // "un-optimized" execution path of the paper: one kernel per layer, no
@@ -108,7 +112,7 @@ func EvalLayer(l *Layer, ins []*tensor.Tensor) (y *tensor.Tensor, err error) {
 		}
 		return tensor.FC(in, w, b, l.OutUnits), nil
 	case OpBatchNorm:
-		for _, k := range []string{"gamma", "beta", "mean", "var"} {
+		for _, k := range batchNormKeys {
 			if t := l.Weights[k]; t != nil && t.Len() < in.C {
 				return nil, fmt.Errorf("batchnorm %s len %d, want %d", k, t.Len(), in.C)
 			}

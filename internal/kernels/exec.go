@@ -105,6 +105,8 @@ func ExecConv(v Variant, x, w, b *tensor.Tensor, p tensor.ConvParams) (*tensor.T
 // (every element is overwritten), so activation buffers can be reused
 // across inferences instead of churning the allocator. y must have shape
 // [x.N, p.OutC, oh, ow].
+//
+//rt:hotpath
 func ExecConvInto(v Variant, x, w, b *tensor.Tensor, p tensor.ConvParams, y *tensor.Tensor) error {
 	oh, ow, groups, icg, err := validateConv(x, w, b, p)
 	if err != nil {
@@ -153,7 +155,11 @@ func execConv(v Variant, x, w, b *tensor.Tensor, p tensor.ConvParams, y *tensor.
 	convExecPool.Put(c)
 }
 
-// chunk implements chunkBody over (batch, output row) units.
+// chunk implements chunkBody over (batch, output row) units. Annotated
+// directly because hotalloc does not traverse the chunkBody interface
+// dispatch inside parallelFor.
+//
+//rt:hotpath
 func (c *convExec) chunk(s *execScratch, lo, hi int) {
 	for r := lo; r < hi; r++ {
 		c.row(s, r/c.oh, r%c.oh)
@@ -353,6 +359,8 @@ func ExecFC(v Variant, x, w, b *tensor.Tensor, out int) (*tensor.Tensor, error) 
 
 // ExecFCInto is ExecFC writing into a caller-provided [x.N, out, 1, 1]
 // output tensor; every element is overwritten.
+//
+//rt:hotpath
 func ExecFCInto(v Variant, x, w, b *tensor.Tensor, out int, y *tensor.Tensor) error {
 	in, err := validateFC(x, w, b, out)
 	if err != nil {
@@ -394,7 +402,10 @@ func execFC(v Variant, x, w, b *tensor.Tensor, out, in int, y *tensor.Tensor) {
 	fcExecPool.Put(f)
 }
 
-// chunk implements chunkBody over (batch, output unit) units.
+// chunk implements chunkBody over (batch, output unit) units. Annotated
+// directly, like (*convExec).chunk, to cover the interface dispatch.
+//
+//rt:hotpath
 func (f *fcExec) chunk(s *execScratch, lo, hi int) {
 	for u := lo; u < hi; u++ {
 		n, o := u/f.out, u%f.out

@@ -3,8 +3,10 @@ package kernels
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"edgeinfer/internal/tensor"
 )
@@ -420,4 +422,40 @@ func BenchmarkExecConvInto(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// TestStopWorkersRetiresHelpers pins the worker-pool stop path the
+// goleak analyzer demands: StopWorkers terminates every helper
+// goroutine, kernel execution stays bit-identical afterwards via the
+// serial fallback, and SetWorkers respawns a working fleet.
+func TestStopWorkersRetiresHelpers(t *testing.T) {
+	orig := Workers()
+	defer SetWorkers(orig)
+
+	SetWorkers(4)
+	x := randTensor("stop-x", 1, 8, 10, 10)
+	w := randTensor("stop-w", 8, 8, 3, 3)
+	p := tensor.ConvParams{OutC: 8, Kernel: 3, Stride: 1, Pad: 1, Groups: 1}
+	v := Variant{Family: FamCUDAConv, TileM: 32, TileN: 32, TileK: 8, Precision: tensor.FP32}
+	want := mustExecConv(t, v, x, w, nil, p)
+
+	before := runtime.NumGoroutine()
+	StopWorkers()
+	StopWorkers() // idempotent: second call must not hang or panic
+	// hwg.Wait returns once every helper has run its deferred Done; the
+	// goroutines themselves unwind an instant later, so poll briefly.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() >= before && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got >= before {
+		t.Fatalf("goroutine count %d after StopWorkers, want below %d", got, before)
+	}
+
+	// With zero helpers the non-blocking enlist finds no takers and the
+	// caller does all chunks itself — still bit-identical.
+	sameBits(t, "serial fallback after StopWorkers", mustExecConv(t, v, x, w, nil, p), want)
+
+	SetWorkers(4)
+	sameBits(t, "respawned fleet", mustExecConv(t, v, x, w, nil, p), want)
 }

@@ -11,8 +11,9 @@ package kernels
 // The pool is deliberately simple and allocation-light:
 //
 //   - helpers are persistent goroutines blocked on a channel; they are
-//     spawned lazily up to Workers()-1 and never torn down (an idle
-//     helper costs one blocked goroutine);
+//     spawned lazily up to Workers()-1 and live until StopWorkers
+//     retires the generation (an idle helper costs one blocked
+//     goroutine);
 //   - the submitting goroutine always participates, so a parallelFor
 //     cannot deadlock even when every helper is busy with another call
 //     (the enlist send is non-blocking — busy helpers are simply not
@@ -96,18 +97,27 @@ func (cs *chunkSet) run() {
 	scratchPool.Put(s)
 }
 
-// workerPool is the process-wide helper set.
+// workerPool is the process-wide helper set. Helpers of one generation
+// share a quit channel and a WaitGroup; StopWorkers closes the channel
+// to retire them all and waits on the group, so the pool's goroutines
+// always have a reachable stop path (enforced statically by goleak).
 type workerPool struct {
 	mu      sync.Mutex
 	width   int // participants per parallelFor (caller + helpers)
 	helpers int // live helper goroutines (high-water mark of width-1)
 	tasks   chan *chunkSet
+	quit    chan struct{}   // closed to retire the current helper generation
+	hwg     *sync.WaitGroup // counts the current generation's live helpers
 }
 
 var pool = newWorkerPool(runtime.GOMAXPROCS(0))
 
 func newWorkerPool(width int) *workerPool {
-	p := &workerPool{tasks: make(chan *chunkSet)}
+	p := &workerPool{
+		tasks: make(chan *chunkSet),
+		quit:  make(chan struct{}),
+		hwg:   new(sync.WaitGroup),
+	}
 	p.setWidth(width)
 	return p
 }
@@ -122,16 +132,42 @@ func (p *workerPool) setWidth(n int) int {
 	p.width = n
 	for p.helpers < n-1 {
 		p.helpers++
-		go p.helper()
+		p.hwg.Add(1)
+		go p.helper(p.quit, p.hwg)
 	}
 	return prev
 }
 
-func (p *workerPool) helper() {
-	for cs := range p.tasks {
-		cs.run()
-		cs.wg.Done()
+func (p *workerPool) helper(quit chan struct{}, hwg *sync.WaitGroup) {
+	defer hwg.Done()
+	for {
+		select {
+		case cs := <-p.tasks:
+			cs.run()
+			cs.wg.Done()
+		case <-quit:
+			return
+		}
 	}
+}
+
+// stop retires the current helper generation: swap in fresh lifecycle
+// state under the lock, then signal and wait outside it (waiting under
+// the mutex would hold it across a blocking operation — the exact
+// pattern lockorder forbids).
+func (p *workerPool) stop() {
+	p.mu.Lock()
+	if p.helpers == 0 {
+		p.mu.Unlock()
+		return
+	}
+	quit, hwg := p.quit, p.hwg
+	p.helpers = 0
+	p.quit = make(chan struct{})
+	p.hwg = new(sync.WaitGroup)
+	p.mu.Unlock()
+	close(quit)
+	hwg.Wait()
 }
 
 // Workers returns the degree of parallelism kernel execution uses.
@@ -144,9 +180,19 @@ func Workers() int {
 // SetWorkers sets the degree of parallelism for kernel execution (minimum
 // 1 — the calling goroutine always works) and returns the previous value.
 // Helpers beyond the high-water mark are spawned on demand; shrinking
-// only narrows future parallelFor calls, it does not tear helpers down.
+// only narrows future parallelFor calls, it does not tear helpers down
+// (use StopWorkers for that).
 func SetWorkers(n int) int {
 	return pool.setWidth(n)
+}
+
+// StopWorkers retires every helper goroutine and blocks until they have
+// exited. Kernel execution stays correct afterwards — parallelFor falls
+// back to the calling goroutine when no helper answers — but runs
+// serially until a SetWorkers call respawns the fleet. Intended for
+// drain/shutdown paths and leak-checking tests.
+func StopWorkers() {
+	pool.stop()
 }
 
 // parallelFor runs body over [0,n) in grain-sized chunks across the pool.

@@ -79,11 +79,12 @@ func (b *executorBackend) Ready() (bool, string) {
 	return true, h.State
 }
 
-// poolBackend serves through a self-healing serve.Pool. The pool has no
-// retry/backoff machinery of its own, so the deadline budget is applied
-// to its simulated batch-release latency: an overrun is reported as a
-// miss on every member, and readiness follows the supervisor's active
-// replica count.
+// poolBackend serves through a self-healing serve.Pool. The batch's
+// deadline budget flows into the fleet dispatch (DoBatchDeadline aborts
+// a batch whose burned latency exceeds the budget) and any residual
+// overrun in the simulated batch-release latency is reported as a miss
+// on every member; readiness follows the supervisor's active replica
+// count.
 type poolBackend struct {
 	pool  *serve.Pool
 	shape [4]int
@@ -101,7 +102,7 @@ func NewPoolBackend(pool *serve.Pool) Backend {
 func (b *poolBackend) InputShape() [4]int { return b.shape }
 
 func (b *poolBackend) ServeBatch(xs []*tensor.Tensor, runIndex int, deadlineSec float64) (*BatchAnswer, error) {
-	br, err := b.pool.DoBatch(xs, runIndex)
+	br, err := b.pool.DoBatchDeadline(xs, runIndex, deadlineSec)
 	if err != nil {
 		return nil, err
 	}

@@ -180,6 +180,21 @@ type PoolBatchResult struct {
 // image with Do. The supervisor folds one latency observation per
 // replica (one run happened) and one divergence vote per image.
 func (p *Pool) DoBatch(xs []*tensor.Tensor, runIndex int) (*PoolBatchResult, error) {
+	return p.doBatch(xs, runIndex, 0, false)
+}
+
+// DoBatchDeadline is DoBatch under a simulated-seconds budget: when the
+// latency burned by failed replica attempts already exceeds the budget,
+// the batch is abandoned with a wrapped ErrDeadlineExceeded instead of
+// paying the per-image FP32 reference passes nobody is waiting for.
+// This is the fleet-side twin of Executor.DoBatchDeadline and the
+// serving path the network front-end's pool backend threads its batch
+// budget through (the deadlineflow analyzer enforces that choice).
+func (p *Pool) DoBatchDeadline(xs []*tensor.Tensor, runIndex int, deadlineSec float64) (*PoolBatchResult, error) {
+	return p.doBatch(xs, runIndex, deadlineSec, true)
+}
+
+func (p *Pool) doBatch(xs []*tensor.Tensor, runIndex int, deadlineSec float64, abort bool) (*PoolBatchResult, error) {
 	if len(xs) == 0 {
 		return nil, fmt.Errorf("serve: pool DoBatch needs at least one input")
 	}
@@ -188,26 +203,45 @@ func (p *Pool) DoBatch(xs []*tensor.Tensor, runIndex int) (*PoolBatchResult, err
 			return nil, fmt.Errorf("serve: pool DoBatch input %d is nil", i)
 		}
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.stats.Requests++
-	req := p.stats.Requests
+	<-p.turn
+	defer func() { p.turn <- struct{}{} }()
+	var req uint64
+	p.locked(func() {
+		p.stats.Requests++
+		req = p.stats.Requests
+	})
 	p.advanceRebuilds(req)
 	if p.cfg.Quorum {
-		return p.serveQuorumBatch(req, xs, runIndex)
+		return p.serveQuorumBatch(req, xs, runIndex, deadlineSec, abort)
 	}
-	return p.serveRRBatch(req, xs, runIndex)
+	return p.serveRRBatch(req, xs, runIndex, deadlineSec, abort)
+}
+
+// batchBudgetExpired decides the pre-FP32 abort: a deadline-carrying
+// batch whose burned latency has already consumed the budget is
+// abandoned rather than degraded.
+func (p *Pool) batchBudgetExpired(burnedSec, deadlineSec float64, abort bool) error {
+	if !abort || deadlineSec <= 0 || burnedSec < deadlineSec {
+		return nil
+	}
+	p.locked(func() { p.stats.DeadlineAborts++ })
+	return fmt.Errorf("serve: pool batch abandoned at %.3gs of a %.3gs budget: %w",
+		burnedSec, deadlineSec, ErrDeadlineExceeded)
 }
 
 // serveRRBatch dispatches the whole batch to the next active replica,
-// failing over like serveRR.
-func (p *Pool) serveRRBatch(req uint64, xs []*tensor.Tensor, runIndex int) (*PoolBatchResult, error) {
+// failing over like serveRR. deadlineSec/abort gate the terminal FP32
+// tier: an already-blown budget abandons the batch instead.
+func (p *Pool) serveRRBatch(req uint64, xs []*tensor.Tensor, runIndex int, deadlineSec float64, abort bool) (*PoolBatchResult, error) {
 	active := p.sup.active()
 	if len(active) == 0 {
 		return p.serveFP32Batch(xs, 0)
 	}
-	start := p.rr
-	p.rr++
+	var start int
+	p.locked(func() {
+		start = p.rr
+		p.rr++
+	})
 	var total float64
 	for i := 0; i < len(active); i++ {
 		r := active[(start+i)%len(active)]
@@ -222,22 +256,31 @@ func (p *Pool) serveRRBatch(req uint64, xs []*tensor.Tensor, runIndex int) (*Poo
 			outs, inferErr = r.eng.InferBatchFaulty(xs, r.inj)
 		}
 		errored := runErr != nil || inferErr != nil
-		p.countObservation(p.sup.observe(req, r, run.LatencySec, errored))
-		if errored {
-			p.stats.ReplicaFails++
-			continue
+		served := false
+		p.locked(func() {
+			p.countObservation(p.sup.observe(req, r, run.LatencySec, errored))
+			if errored {
+				p.stats.ReplicaFails++
+				return
+			}
+			p.stats.RoundRobin++
+			served = true
+		})
+		if served {
+			br := &PoolBatchResult{LatencySec: total}
+			for _, o := range outs {
+				br.Results = append(br.Results, &PoolResult{
+					Outputs:    o,
+					LatencySec: total,
+					Replica:    r.slot,
+					BuildID:    r.eng.BuildID,
+				})
+			}
+			return br, nil
 		}
-		p.stats.RoundRobin++
-		br := &PoolBatchResult{LatencySec: total}
-		for _, o := range outs {
-			br.Results = append(br.Results, &PoolResult{
-				Outputs:    o,
-				LatencySec: total,
-				Replica:    r.slot,
-				BuildID:    r.eng.BuildID,
-			})
-		}
-		return br, nil
+	}
+	if err := p.batchBudgetExpired(total, deadlineSec, abort); err != nil {
+		return nil, err
 	}
 	return p.serveFP32Batch(xs, total)
 }
@@ -251,14 +294,18 @@ type bvote struct {
 }
 
 // serveQuorumBatch runs every active replica once over the batch, then
-// applies serveQuorum's majority rule image by image.
-func (p *Pool) serveQuorumBatch(req uint64, xs []*tensor.Tensor, runIndex int) (*PoolBatchResult, error) {
+// applies serveQuorum's majority rule image by image. deadlineSec/abort
+// gate the whole-fleet-errored FP32 fallback; the per-image no-majority
+// fallback still runs (the majority images already paid for their
+// answers, abandoning the stragglers would discard served work).
+func (p *Pool) serveQuorumBatch(req uint64, xs []*tensor.Tensor, runIndex int, deadlineSec float64, abort bool) (*PoolBatchResult, error) {
 	active := p.sup.active()
 	if len(active) == 0 {
 		return p.serveFP32Batch(xs, 0)
 	}
 	votes := make([]bvote, 0, len(active))
-	var maxLat float64
+	voterCount := 0
+	var maxLat, burned float64
 	for _, r := range active {
 		run, runErr := r.eng.RunFaulty(p.runCfg(runIndex), r.inj)
 		v := bvote{r: r, lat: run.LatencySec, errored: runErr != nil}
@@ -271,11 +318,28 @@ func (p *Pool) serveQuorumBatch(req uint64, xs []*tensor.Tensor, runIndex int) (
 			}
 		}
 		if v.errored {
-			p.stats.ReplicaFails++
-		} else if v.lat > maxLat {
-			maxLat = v.lat
+			p.locked(func() { p.stats.ReplicaFails++ })
+			burned += v.lat
+		} else {
+			voterCount++
+			if v.lat > maxLat {
+				maxLat = v.lat
+			}
 		}
 		votes = append(votes, v)
+	}
+	if voterCount == 0 {
+		// Every replica errored: the batch is headed for the FP32 tier
+		// with nothing but burned hedge latency to show for it.
+		if err := p.batchBudgetExpired(burned, deadlineSec, abort); err != nil {
+			p.locked(func() {
+				for i := range votes {
+					v := &votes[i]
+					p.countObservation(p.sup.observe(req, v.r, v.lat, v.errored))
+				}
+			})
+			return nil, err
+		}
 	}
 
 	br := &PoolBatchResult{Results: make([]*PoolResult, len(xs))}
@@ -324,17 +388,19 @@ func (p *Pool) serveQuorumBatch(req uint64, xs []*tensor.Tensor, runIndex int) (
 				refArg = argmax(outs[0])
 			}
 		}
-		for _, v := range voters {
-			switch {
-			case majArg >= 0:
-				p.sup.noteDivergence(v.r, v.arg != majArg)
-			case refArg >= 0:
-				p.sup.noteDivergence(v.r, v.arg != refArg)
+		p.locked(func() {
+			for _, v := range voters {
+				switch {
+				case majArg >= 0:
+					p.sup.noteDivergence(v.r, v.arg != majArg)
+				case refArg >= 0:
+					p.sup.noteDivergence(v.r, v.arg != refArg)
+				}
 			}
-		}
+		})
 
 		if len(majority) == 0 {
-			p.stats.NoMajority++
+			p.locked(func() { p.stats.NoMajority++ })
 			res, err := p.serveFP32(x, maxLat)
 			if err != nil {
 				return nil, err
@@ -355,7 +421,7 @@ func (p *Pool) serveQuorumBatch(req uint64, xs []*tensor.Tensor, runIndex int) (
 			if len(lats) > 1 {
 				release = lats[1]
 			}
-			p.stats.QuorumServed++
+			p.locked(func() { p.stats.QuorumServed++ })
 			br.Results[img] = &PoolResult{
 				Outputs:    winner.outs,
 				LatencySec: release,
@@ -371,10 +437,12 @@ func (p *Pool) serveQuorumBatch(req uint64, xs []*tensor.Tensor, runIndex int) (
 	}
 
 	// One latency observation per replica: the batch was one run each.
-	for i := range votes {
-		v := &votes[i]
-		p.countObservation(p.sup.observe(req, v.r, v.lat, v.errored))
-	}
+	p.locked(func() {
+		for i := range votes {
+			v := &votes[i]
+			p.countObservation(p.sup.observe(req, v.r, v.lat, v.errored))
+		}
+	})
 	return br, nil
 }
 

@@ -1,0 +1,119 @@
+package serve_test
+
+// Regression tests for the lockorder fixes: the fleet mutex must never
+// be held across replica inference, so observability calls answer while
+// a request is in flight, and a deadline-carrying batch whose budget is
+// already burned is abandoned instead of paying the FP32 tier.
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"edgeinfer/internal/core"
+	"edgeinfer/internal/serve"
+	"edgeinfer/internal/tensor"
+)
+
+// gateInjector parks the first kernel launch until released, simulating
+// a slow in-flight inference without touching wall-clock modeling.
+type gateInjector struct {
+	once    sync.Once
+	entered chan struct{}
+	release chan struct{}
+}
+
+func newGateInjector() *gateInjector {
+	return &gateInjector{entered: make(chan struct{}), release: make(chan struct{})}
+}
+
+func (g *gateInjector) Launch(int, string) core.LaunchFault {
+	g.once.Do(func() { close(g.entered) })
+	<-g.release
+	return core.LaunchFault{}
+}
+func (g *gateInjector) MemcpyH2D(int64) (int, error)                                { return 0, nil }
+func (g *gateInjector) CorruptWeights(_, _ string, _ *tensor.Tensor) *tensor.Tensor { return nil }
+func (g *gateInjector) CorruptActivation(string, *tensor.Tensor)                    {}
+
+// failInjector fails every kernel launch, so each replica attempt burns
+// latency and errors.
+type failInjector struct{}
+
+func (failInjector) Launch(int, string) core.LaunchFault                         { return core.LaunchFault{Fail: true} }
+func (failInjector) MemcpyH2D(int64) (int, error)                                { return 0, nil }
+func (failInjector) CorruptWeights(_, _ string, _ *tensor.Tensor) *tensor.Tensor { return nil }
+func (failInjector) CorruptActivation(string, *tensor.Tensor)                    {}
+
+// Health, Stats and Transcript must answer while an inference is in
+// flight: the request path holds the serialization token end to end but
+// may not hold p.mu across replica execution (the exact pattern the
+// lockorder analyzer forbids).
+func TestPoolHealthNotBlockedDuringInference(t *testing.T) {
+	_, _, _, inputs := fixture(t)
+	gate := newGateInjector()
+	p := newPool(t, func(c *serve.PoolConfig) {
+		c.ReplicaInjector = func(int, *core.Engine) core.FaultInjector { return gate }
+	})
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.Do(inputs[0], 0)
+		done <- err
+	}()
+
+	select {
+	case <-gate.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("inference never reached the gated launch")
+	}
+
+	observed := make(chan struct{})
+	go func() {
+		p.Health()
+		p.Stats()
+		p.Transcript()
+		close(observed)
+	}()
+	select {
+	case <-observed:
+	case <-time.After(5 * time.Second):
+		close(gate.release)
+		t.Fatal("Health/Stats/Transcript blocked behind an in-flight inference")
+	}
+
+	close(gate.release)
+	if err := <-done; err != nil {
+		t.Fatalf("gated request failed: %v", err)
+	}
+}
+
+// A deadline-carrying batch whose replicas all burned the budget is
+// abandoned with ErrDeadlineExceeded and counted, in both dispatch
+// modes; the deadline-free twin still degrades to FP32.
+func TestPoolDoBatchDeadlineAborts(t *testing.T) {
+	_, _, _, inputs := fixture(t)
+	for _, quorum := range []bool{false, true} {
+		p := newPool(t, func(c *serve.PoolConfig) {
+			c.Quorum = quorum
+			c.ReplicaInjector = func(int, *core.Engine) core.FaultInjector { return failInjector{} }
+		})
+		_, err := p.DoBatchDeadline(inputs[:2], 0, 1e-12)
+		if !errors.Is(err, serve.ErrDeadlineExceeded) {
+			t.Fatalf("quorum=%v error %v is not serve.ErrDeadlineExceeded", quorum, err)
+		}
+		if st := p.Stats(); st.DeadlineAborts != 1 {
+			t.Fatalf("quorum=%v DeadlineAborts = %d, want 1", quorum, st.DeadlineAborts)
+		}
+		br, err := p.DoBatch(inputs[:2], 1)
+		if err != nil {
+			t.Fatalf("quorum=%v deadline-free batch errored: %v", quorum, err)
+		}
+		for i, r := range br.Results {
+			if !r.Fallback {
+				t.Fatalf("quorum=%v image %d not served by FP32 tier: %+v", quorum, i, r)
+			}
+		}
+	}
+}

@@ -288,6 +288,8 @@ type PoolStats struct {
 	Rebuilds       uint64 // background rebuilds completed
 	CanaryFailures uint64 // rebuilds rejected by canary validation
 	Readmissions   uint64 // rebuilding → readmitted transitions
+
+	DeadlineAborts uint64 // batches abandoned before the FP32 tier on an expired budget
 }
 
 // PoolResult is one request served by the fleet.
@@ -335,17 +337,33 @@ type PoolHealth struct {
 }
 
 // Pool is a self-healing fleet of engine replicas serving one model.
-// Safe for concurrent use; requests serialize on the pool lock so the
-// supervisor's transcript stays deterministic.
+// Safe for concurrent use. Requests serialize on a single-token turn
+// channel so the supervisor's transcript stays deterministic; the state
+// mutex guards only short read/write sections and is never held across
+// an inference (the lockorder analyzer enforces this), so Health, Stats
+// and Transcript answer immediately even while a request is in flight.
 type Pool struct {
 	cfg      PoolConfig
 	reg      *Registry
 	fallback *graph.Graph
 
-	mu    sync.Mutex
+	// turn is the request ticket: exactly one token exists, and a request
+	// holds it end to end. The holder is the only goroutine mutating pool
+	// state, which is what lets the serving path read that state without
+	// the mutex between its locked sections.
+	turn chan struct{}
+
+	mu    sync.Mutex // guards sup/rr/stats; never held across inference
 	sup   *Supervisor
 	rr    int
 	stats PoolStats
+}
+
+// locked runs one short state mutation under the mutex.
+func (p *Pool) locked(f func()) {
+	p.mu.Lock()
+	f()
+	p.mu.Unlock()
 }
 
 // NewPool builds a replica fleet from the registry: K numeric proxy
@@ -380,7 +398,9 @@ func NewPool(reg *Registry, cfg PoolConfig) (*Pool, error) {
 		}
 		sup.reps = append(sup.reps, r)
 	}
-	return &Pool{cfg: c, reg: reg, fallback: fb, sup: sup}, nil
+	p := &Pool{cfg: c, reg: reg, fallback: fb, sup: sup, turn: make(chan struct{}, 1)}
+	p.turn <- struct{}{}
+	return p, nil
 }
 
 // Stats returns a snapshot of the fleet counters.
@@ -443,10 +463,13 @@ func (p *Pool) Transcript() []string {
 // from the FP32 reference path itself (a configuration bug, not a
 // device fault).
 func (p *Pool) Do(x *tensor.Tensor, runIndex int) (*PoolResult, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.stats.Requests++
-	req := p.stats.Requests
+	<-p.turn
+	defer func() { p.turn <- struct{}{} }()
+	var req uint64
+	p.locked(func() {
+		p.stats.Requests++
+		req = p.stats.Requests
+	})
 	p.advanceRebuilds(req)
 	if p.cfg.Quorum {
 		return p.serveQuorum(req, x, runIndex)
@@ -470,8 +493,11 @@ func (p *Pool) serveRR(req uint64, x *tensor.Tensor, runIndex int) (*PoolResult,
 	if len(active) == 0 {
 		return p.serveFP32(x, 0)
 	}
-	start := p.rr
-	p.rr++
+	var start int
+	p.locked(func() {
+		start = p.rr
+		p.rr++
+	})
 	var total float64
 	for i := 0; i < len(active); i++ {
 		r := active[(start+i)%len(active)]
@@ -487,18 +513,24 @@ func (p *Pool) serveRR(req uint64, x *tensor.Tensor, runIndex int) (*PoolResult,
 			outs, inferErr = r.eng.InferFaulty(x, r.inj)
 		}
 		errored := runErr != nil || inferErr != nil
-		p.countObservation(p.sup.observe(req, r, run.LatencySec, errored))
-		if errored {
-			p.stats.ReplicaFails++
-			continue
+		served := false
+		p.locked(func() {
+			p.countObservation(p.sup.observe(req, r, run.LatencySec, errored))
+			if errored {
+				p.stats.ReplicaFails++
+				return
+			}
+			p.stats.RoundRobin++
+			served = true
+		})
+		if served {
+			return &PoolResult{
+				Outputs:    outs,
+				LatencySec: total,
+				Replica:    r.slot,
+				BuildID:    r.eng.BuildID,
+			}, nil
 		}
-		p.stats.RoundRobin++
-		return &PoolResult{
-			Outputs:    outs,
-			LatencySec: total,
-			Replica:    r.slot,
-			BuildID:    r.eng.BuildID,
-		}, nil
 	}
 	return p.serveFP32(x, total)
 }
@@ -538,7 +570,7 @@ func (p *Pool) serveQuorum(req uint64, x *tensor.Tensor, runIndex int) (*PoolRes
 			}
 		}
 		if v.errored {
-			p.stats.ReplicaFails++
+			p.locked(func() { p.stats.ReplicaFails++ })
 		} else if v.lat > maxLat {
 			maxLat = v.lat
 		}
@@ -590,21 +622,23 @@ func (p *Pool) serveQuorum(req uint64, x *tensor.Tensor, runIndex int) (*PoolRes
 			refArg = argmax(outs[0])
 		}
 	}
-	for i := range votes {
-		v := &votes[i]
-		if !v.errored && x != nil {
-			switch {
-			case majArg >= 0:
-				p.sup.noteDivergence(v.r, v.arg != majArg)
-			case refArg >= 0:
-				p.sup.noteDivergence(v.r, v.arg != refArg)
+	p.locked(func() {
+		for i := range votes {
+			v := &votes[i]
+			if !v.errored && x != nil {
+				switch {
+				case majArg >= 0:
+					p.sup.noteDivergence(v.r, v.arg != majArg)
+				case refArg >= 0:
+					p.sup.noteDivergence(v.r, v.arg != refArg)
+				}
 			}
+			p.countObservation(p.sup.observe(req, v.r, v.lat, v.errored))
 		}
-		p.countObservation(p.sup.observe(req, v.r, v.lat, v.errored))
-	}
+	})
 
 	if len(majority) == 0 {
-		p.stats.NoMajority++
+		p.locked(func() { p.stats.NoMajority++ })
 		// The hedge failed: the fallback starts once the slowest voter
 		// has answered.
 		res, err := p.serveFP32(x, maxLat)
@@ -629,7 +663,7 @@ func (p *Pool) serveQuorum(req uint64, x *tensor.Tensor, runIndex int) (*PoolRes
 	if len(lats) > 1 {
 		release = lats[1]
 	}
-	p.stats.QuorumServed++
+	p.locked(func() { p.stats.QuorumServed++ })
 	return &PoolResult{
 		Outputs:    winner.outs,
 		LatencySec: release,
@@ -656,10 +690,12 @@ func (p *Pool) serveFP32(x *tensor.Tensor, baseLat float64) (*PoolResult, error)
 		}
 		res.Outputs = outs
 	}
-	p.stats.FP32Served++
+	p.locked(func() { p.stats.FP32Served++ })
 	return res, nil
 }
 
+// countObservation folds an observe verdict into the stats. Callers
+// hold p.mu (observe mutates supervisor state under the same section).
 func (p *Pool) countObservation(detected, quarantined bool) {
 	if detected {
 		p.stats.Detections++
@@ -680,33 +716,47 @@ func (p *Pool) advanceRebuilds(req uint64) {
 		if r.state != StateQuarantined || req < r.quarantinedAt+uint64(p.cfg.RebuildDelay) {
 			continue
 		}
-		p.sup.transition(req, r, StateRebuilding, fmt.Sprintf("rebuild after %d quarantined requests", p.cfg.RebuildDelay))
+		p.locked(func() {
+			p.sup.transition(req, r, StateRebuilding, fmt.Sprintf("rebuild after %d quarantined requests", p.cfg.RebuildDelay))
+		})
+		// The build and the canary inferences run outside the state lock:
+		// both are long and both would otherwise hold p.mu across kernel
+		// execution. The turn token keeps them exclusive with other
+		// requests regardless.
 		e, err := p.reg.Rebuild(p.cfg.Model)
 		if err != nil {
-			p.sup.transition(req, r, StateQuarantined, "rebuild failed: "+err.Error())
-			r.quarantinedAt = req
+			p.locked(func() {
+				p.sup.transition(req, r, StateQuarantined, "rebuild failed: "+err.Error())
+				r.quarantinedAt = req
+			})
 			continue
 		}
-		r.eng = e
-		r.inj = nil
+		var inj core.FaultInjector
 		if p.cfg.ReplicaInjector != nil {
-			r.inj = p.cfg.ReplicaInjector(r.slot, e)
+			inj = p.cfg.ReplicaInjector(r.slot, e)
 		}
-		r.expected = e.ExpectedLatencySec(p.cfg.Device, p.cfg.IncludeMemcpy)
-		r.rebuilds++
-		p.stats.Rebuilds++
+		expected := e.ExpectedLatencySec(p.cfg.Device, p.cfg.IncludeMemcpy)
+		p.locked(func() {
+			r.eng, r.inj, r.expected = e, inj, expected
+			r.rebuilds++
+			p.stats.Rebuilds++
+		})
 		agree, total := p.canary(r)
 		if total > 0 && float64(agree) < p.cfg.CanaryAgreeFrac*float64(total) {
-			p.stats.CanaryFailures++
-			p.sup.transition(req, r, StateQuarantined, fmt.Sprintf("canary %d/%d below threshold", agree, total))
-			r.quarantinedAt = req
+			p.locked(func() {
+				p.stats.CanaryFailures++
+				p.sup.transition(req, r, StateQuarantined, fmt.Sprintf("canary %d/%d below threshold", agree, total))
+				r.quarantinedAt = req
+			})
 			continue
 		}
-		r.latEWMA, r.divEWMA = 1, 0
-		r.samples, r.strikes = 0, 0
-		r.readmits++
-		p.stats.Readmissions++
-		p.sup.transition(req, r, StateReadmitted, fmt.Sprintf("canary %d/%d", agree, total))
+		p.locked(func() {
+			r.latEWMA, r.divEWMA = 1, 0
+			r.samples, r.strikes = 0, 0
+			r.readmits++
+			p.stats.Readmissions++
+			p.sup.transition(req, r, StateReadmitted, fmt.Sprintf("canary %d/%d", agree, total))
+		})
 	}
 }
 
