@@ -14,8 +14,10 @@
 # numeric paths, archived as BENCH_numeric.json so ns/op and allocs/op
 # regressions are diffable across commits, and the serving soak (an
 # open-loop 2x-overload run against the netserve front-end that must
-# shed explicitly, answer every request, and drain cleanly), archived
-# as BENCH_serve.json. Run from the repo root.
+# shed explicitly, answer every request, and drain cleanly — run under
+# both the FIFO baseline and the EDF + WCET-admission discipline, the
+# latter gated on deadline-miss rate), archived as BENCH_serve.json.
+# Run from the repo root.
 set -eux
 
 go vet ./...
@@ -29,4 +31,15 @@ go run ./cmd/rtlint -json -baseline rtlint_baseline.json ./...
 go run ./cmd/rtlint -plancheck
 go test -run='^$' -bench='^(BenchmarkNumericInference|BenchmarkEngineBuild|BenchmarkInferBatch)$' \
   -benchmem -benchtime=1x . | go run ./cmd/benchjson -out BENCH_numeric.json
-go run ./cmd/loadgen -smoke | go run ./cmd/benchjson -out BENCH_serve.json
+# Serving soak, twice over the same 2x-overload tight-deadline mix: the
+# FIFO baseline, then the EDF + WCET-admission discipline whose smoke
+# additionally gates the deadline-miss rate (admission sheds hopeless
+# budgets at the door instead of letting them expire in the queue).
+# Both result lines land in BENCH_serve.json so the miss-rate reduction
+# is diffable across commits.
+{
+  go run ./cmd/loadgen -smoke -name BenchmarkServeLoadFIFO \
+    -deadline 250 -tightFrac 0.25 -spread 3
+  go run ./cmd/loadgen -smoke -name BenchmarkServeLoadEDF \
+    -deadline 250 -tightFrac 0.25 -spread 3 -edf -wcet -missGate 0.05
+} | go run ./cmd/benchjson -out BENCH_serve.json

@@ -40,6 +40,7 @@ import (
 	"edgeinfer/internal/metrics"
 	"edgeinfer/internal/models"
 	"edgeinfer/internal/netserve"
+	"edgeinfer/internal/rtctx"
 	"edgeinfer/internal/serve"
 	"edgeinfer/internal/tensor"
 )
@@ -52,9 +53,9 @@ type pacedBackend struct {
 	serveTime time.Duration
 }
 
-func (b *pacedBackend) ServeBatch(xs []*tensor.Tensor, runIndex int, deadlineSec float64) (*netserve.BatchAnswer, error) {
+func (b *pacedBackend) ServeBatch(ctx *rtctx.Request, xs []*tensor.Tensor, runIndex int) (*netserve.BatchAnswer, error) {
 	time.Sleep(b.serveTime)
-	return b.Backend.ServeBatch(xs, runIndex, deadlineSec)
+	return b.Backend.ServeBatch(ctx, xs, runIndex)
 }
 
 // outcome is one request's fate as the client saw it.
@@ -64,6 +65,7 @@ type outcome struct {
 	canceled   bool // we disconnected this client on purpose
 	latency    time.Duration
 	miss       bool // served, but the reply flagged a deadline miss
+	tight      bool // sent with a hopeless (below-WCET) deadline
 }
 
 func main() {
@@ -82,6 +84,12 @@ func main() {
 	burstEvery := flag.Int("burstEvery", 20, "every Nth tick is a burst (0 disables)")
 	burstFactor := flag.Int("burstFactor", 4, "arrival multiplier on burst ticks")
 	smoke := flag.Bool("smoke", false, "CI gate: overload must shed cleanly and drain must complete")
+	edf := flag.Bool("edf", false, "serve with the EDF queue discipline instead of two-band FIFO")
+	wcetAdm := flag.Bool("wcet", false, "enable WCET admission control")
+	tightFrac := flag.Float64("tightFrac", 0, "fraction of requests sent with a hopeless below-WCET deadline")
+	spread := flag.Int("spread", 1, "deadline ladder rungs: request i's deadline is deadline*(1+i%spread)")
+	missGate := flag.Float64("missGate", -1, "smoke: max allowed deadline-miss fraction (<0 disables)")
+	name := flag.String("name", "BenchmarkServeLoad", "benchmark result line name")
 	flag.Parse()
 
 	if err := run(config{
@@ -91,6 +99,8 @@ func main() {
 		depth: *depth, serveTime: time.Duration(*serveMS) * time.Millisecond,
 		seed: *seed, slowRate: *slowRate, discRate: *discRate,
 		burstEvery: *burstEvery, burstFactor: *burstFactor, smoke: *smoke,
+		edf: *edf, wcetAdm: *wcetAdm, tightFrac: *tightFrac, spread: *spread,
+		missGate: *missGate, name: *name,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
@@ -110,6 +120,11 @@ type config struct {
 	slowRate, discRate      float64
 	burstEvery, burstFactor int
 	smoke                   bool
+	edf, wcetAdm            bool
+	tightFrac               float64
+	spread                  int
+	missGate                float64
+	name                    string
 }
 
 func run(cfg config) error {
@@ -133,12 +148,33 @@ func run(cfg config) error {
 		Backend:   netserve.NewExecutorBackend(ex, eng.Graph.InputShape),
 		serveTime: cfg.serveTime,
 	}
+	// The certified worst-case service time of THIS deployment: the
+	// engine's simulated WCET bound plus the paced wall-clock service
+	// time and the batch window (client budgets arrive as wall-clock
+	// headers, so the bound must cover the wall-clock path too). Tight
+	// requests get half that — a budget admission can prove hopeless.
+	var wcetSec float64
+	var tightDeadline time.Duration
+	if cfg.wcetAdm || cfg.tightFrac > 0 {
+		simWCET, err := reg.WCETBound(cfg.model, 12, 0.2)
+		if err != nil {
+			return fmt.Errorf("WCET certification: %w", err)
+		}
+		wcetSec = simWCET + cfg.serveTime.Seconds() + cfg.window.Seconds()
+		tightMS := int(wcetSec * 1e3 / 2)
+		if tightMS < 1 {
+			tightMS = 1
+		}
+		tightDeadline = time.Duration(tightMS) * time.Millisecond
+	}
 	srv, err := netserve.New(netserve.Config{
-		Models:          []netserve.ModelConfig{{Name: cfg.model, Backend: be}},
+		Models:          []netserve.ModelConfig{{Name: cfg.model, Backend: be, WCETSec: wcetSec}},
 		MaxBatch:        cfg.maxBatch,
 		BatchWindow:     cfg.window,
 		QueueDepth:      cfg.depth,
 		DefaultDeadline: cfg.deadline,
+		EDF:             cfg.edf,
+		WCETAdmission:   cfg.wcetAdm,
 	})
 	if err != nil {
 		return err
@@ -167,6 +203,7 @@ func run(cfg config) error {
 	var wg sync.WaitGroup
 	interval := time.Duration(float64(time.Second) / cfg.rate)
 	highPermille := int(cfg.highFrac * 1000)
+	tightPermille := int(cfg.tightFrac * 1000)
 	start := time.Now()
 	issued := 0
 	for tick := 1; issued < cfg.requests; tick++ {
@@ -183,10 +220,25 @@ func run(cfg config) error {
 			issued++
 			chunk, delay, slow := inj.SlowClient()
 			disconnect := inj.Disconnect()
+			// Deterministic deadline mix: a tightFrac slice of arrivals
+			// carries the hopeless below-WCET deadline; everyone else
+			// climbs a spread-rung ladder (deadline heterogeneity is what
+			// gives EDF reordering something to exploit).
+			deadline := cfg.deadline
+			if cfg.spread > 1 {
+				deadline = cfg.deadline * time.Duration(1+idx%cfg.spread)
+			}
+			// Stride pattern, not a prefix: idx%1000 < permille would make
+			// the first quarter of a short run all-tight.
+			tight := tightPermille > 0 && idx*tightPermille%1000 < tightPermille
+			if tight {
+				deadline = tightDeadline
+			}
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				o := fire(url, idx, idx%1000 < highPermille, cfg.deadline, slow, chunk, delay, disconnect)
+				o := fire(url, idx, idx%1000 < highPermille, deadline, slow, chunk, delay, disconnect)
+				o.tight = tight
 				mu.Lock()
 				outcomes = append(outcomes, o)
 				mu.Unlock()
@@ -275,21 +327,31 @@ func readJSON(r io.Reader, v any) error {
 // result line to stdout, then applies the smoke gates.
 func report(cfg config, outcomes []outcome, elapsed time.Duration, ms netserve.ModelStats, st netserve.ServerStats, inj *faults.NetInjector) error {
 	var served, shed, expired, canceled, transport, other int
+	var tightMisses, tightTotal int
 	var latencies []float64
 	misses := 0
 	for _, o := range outcomes {
+		if o.tight {
+			tightTotal++
+		}
 		switch {
 		case o.status == http.StatusOK:
 			served++
 			latencies = append(latencies, o.latency.Seconds())
 			if o.miss {
 				misses++
+				if o.tight {
+					tightMisses++
+				}
 			}
 		case o.status == http.StatusServiceUnavailable:
 			shed++
 		case o.status == http.StatusGatewayTimeout:
 			expired++
 			misses++
+			if o.tight {
+				tightMisses++
+			}
 		case o.canceled:
 			canceled++
 		case o.status == 0:
@@ -303,7 +365,8 @@ func report(cfg config, outcomes []outcome, elapsed time.Duration, ms netserve.M
 	p := metrics.Percentiles(latencies, 50, 99, 99.9)
 	rps := float64(served) / elapsed.Seconds()
 	shedPct := 100 * float64(shed) / float64(total)
-	missPct := 100 * float64(misses) / float64(total)
+	missFrac := float64(misses) / float64(total)
+	missPct := 100 * missFrac
 
 	fmt.Fprintf(os.Stderr,
 		"loadgen: %d arrivals over %v (%.0f/s asked): %d served, %d shed, %d expired, %d disconnected, %d transport, %d other\n",
@@ -311,11 +374,16 @@ func report(cfg config, outcomes []outcome, elapsed time.Duration, ms netserve.M
 	fmt.Fprintf(os.Stderr,
 		"loadgen: latency p50 %.2fms p99 %.2fms p999 %.2fms | %.0f served/s | shed %.1f%% | miss %.1f%% | max queue depth %d/%d\n",
 		p[0]*1e3, p[1]*1e3, p[2]*1e3, rps, shedPct, missPct, ms.MaxQueueDepth, cfg.depth)
+	if cfg.edf || cfg.wcetAdm || tightTotal > 0 {
+		fmt.Fprintf(os.Stderr,
+			"loadgen: discipline edf=%v wcet=%v: %d/%d tight requests missed, %d wcet-shed, %d edf-evictions\n",
+			cfg.edf, cfg.wcetAdm, tightMisses, tightTotal, ms.WCETShed, ms.EDFEvictions)
+	}
 	fmt.Fprintf(os.Stderr, "loadgen: faults injected: %s\n", inj.Counters())
 
 	// The benchjson line: p50 as ns/op, everything else as custom units.
-	fmt.Printf("BenchmarkServeLoad %d %.0f ns/op %.0f p99-ns/op %.0f p999-ns/op %.2f req/s %.2f shed-%% %.2f miss-%% %d max-depth\n",
-		served, p[0]*1e9, p[1]*1e9, p[2]*1e9, rps, shedPct, missPct, ms.MaxQueueDepth)
+	fmt.Printf("%s %d %.0f ns/op %.0f p99-ns/op %.0f p999-ns/op %.2f req/s %.2f shed-%% %.2f miss-%% %.4f deadline_miss_rate %d edf_evictions %d wcet_shed %d max-depth\n",
+		cfg.name, served, p[0]*1e9, p[1]*1e9, p[2]*1e9, rps, shedPct, missPct, missFrac, ms.EDFEvictions, ms.WCETShed, ms.MaxQueueDepth)
 
 	if !cfg.smoke {
 		return nil
@@ -334,6 +402,12 @@ func report(cfg config, outcomes []outcome, elapsed time.Duration, ms netserve.M
 	gate(ms.MaxQueueDepth <= cfg.depth, "queue depth %d exceeded bound %d", ms.MaxQueueDepth, cfg.depth)
 	gate(st.Models[cfg.model].QueueDepth == 0, "drain left %d requests queued", st.Models[cfg.model].QueueDepth)
 	gate(st.Draining, "server not marked draining after drain")
+	if cfg.missGate >= 0 {
+		gate(missFrac <= cfg.missGate, "deadline-miss rate %.4f exceeded gate %.4f", missFrac, cfg.missGate)
+	}
+	if cfg.wcetAdm && cfg.tightFrac > 0 {
+		gate(ms.WCETShed > 0, "WCET admission never engaged despite %d tight arrivals", tightTotal)
+	}
 	for _, o := range outcomes {
 		if o.status == http.StatusServiceUnavailable && !o.retryAfter {
 			fails = append(fails, "a 503 shed arrived without Retry-After")

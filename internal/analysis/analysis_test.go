@@ -103,6 +103,30 @@ func TestFixtureFindingsMatchMarkers(t *testing.T) {
 	}
 }
 
+// TestDeadlineFlowReportsOncePerCall: the fixture's Run has BOTH a
+// RunCtx and a RunDeadline sibling, so a dropped budget could
+// double-report; the analyzer must emit exactly one finding per call
+// site, suggesting the canonical Ctx sibling.
+func TestDeadlineFlowReportsOncePerCall(t *testing.T) {
+	m := loadFixture(t)
+	findings := RunAnalyzers(m, []*Analyzer{DeadlineFlow()})
+	perLine := map[string]int{}
+	for _, f := range findings {
+		perLine[fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line)]++
+		if !strings.Contains(f.Message, "RunCtx") {
+			t.Errorf("finding %s does not suggest the Ctx sibling", f)
+		}
+	}
+	if len(perLine) == 0 {
+		t.Fatal("no deadlineflow findings on the fixture")
+	}
+	for line, n := range perLine {
+		if n != 1 {
+			t.Errorf("call at %s reported %d times, want exactly once", line, n)
+		}
+	}
+}
+
 // TestSeededViolationsFailDriver proves cmd/rtlint's non-zero exit
 // contract: the fixture's seeded violations are error severity, so
 // HasErrors — the driver's exit-code predicate — is true.

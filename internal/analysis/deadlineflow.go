@@ -7,29 +7,36 @@ import (
 	"strings"
 )
 
-// deadlineflow catches the dropped-deadline bug class: a function that
-// accepts a deadline (a context.Context, or a parameter named like
-// deadlineSec/timeout/budget) calling a module function that has a
-// deadline-aware sibling — e.g. calling Pool.DoBatch from a path that
-// was handed a deadline when Pool.DoBatchDeadline exists. The request
-// then runs with no budget at all and the caller's deadline accounting
-// silently lies.
+// deadlineflow catches the dropped-budget bug class: a function that
+// was handed a request budget — an *rtctx.Request, a context.Context,
+// or a parameter named like deadlineSec/timeout/budget — calling a
+// module function that has a budget-aware sibling, discarding the
+// budget at the call. The canonical miss: calling Pool.DoBatch from a
+// path that was handed an rtctx.Request when Pool.DoBatchCtx exists.
+// The request then runs with no budget at all and the caller's
+// deadline accounting silently lies.
 //
-// A sibling is the same function name with a "Deadline" suffix on the
-// same receiver (Do -> DoDeadline, DoBatch -> DoBatchDeadline). Calls
-// already targeting a *Deadline function are never flagged. Goroutine
-// launches are skipped: work intentionally detached from the request
-// outlives its deadline by design and is goleak's jurisdiction.
+// A sibling is the same function name with a "Ctx" or "Deadline"
+// suffix on the same receiver (DoBatch -> DoBatchCtx, Run ->
+// RunDeadline). Calls already targeting a *Ctx or *Deadline function
+// are never flagged, and a call is reported at most once even when
+// both sibling spellings exist. Goroutine launches are skipped: work
+// intentionally detached from the request outlives its budget by
+// design and is goleak's jurisdiction.
 //
 // Known limitation (documented in DESIGN.md): the analyzer checks that
-// the deadline-aware sibling is chosen, not that the right value is
+// the budget-aware sibling is chosen, not that the right value is
 // passed to it.
 
-// DeadlineFlow returns the deadline-threading analyzer.
+// budgetSuffixes are the sibling spellings, most canonical first: the
+// reported fix suggests the Ctx sibling when both exist.
+var budgetSuffixes = [...]string{"Ctx", "Deadline"}
+
+// DeadlineFlow returns the budget-threading analyzer.
 func DeadlineFlow() *Analyzer {
 	return &Analyzer{
 		Name: "deadlineflow",
-		Doc:  "deadline-carrying functions must call deadline-aware siblings",
+		Doc:  "budget-carrying functions must call budget-aware (Ctx/Deadline) siblings",
 		Run:  runDeadlineFlow,
 	}
 }
@@ -44,7 +51,7 @@ func runDeadlineFlow(m *Module, r *Reporter) {
 
 	for _, id := range ids {
 		d := decls[id]
-		param := deadlineParam(d.pkg.Info, d.fd)
+		param := budgetParam(d.pkg.Info, d.fd)
 		if param == "" {
 			continue
 		}
@@ -58,25 +65,40 @@ func runDeadlineFlow(m *Module, r *Reporter) {
 				return true
 			}
 			fn := resolvedCallee(info, call)
-			if fn == nil || !moduleFunc(m, fn) || strings.HasSuffix(fn.Name(), "Deadline") {
+			if fn == nil || !moduleFunc(m, fn) || budgetAware(fn.Name()) {
 				return true
 			}
-			sibling := funcID(fn) + "Deadline"
-			if _, ok := decls[sibling]; !ok {
-				return true
+			for _, suffix := range budgetSuffixes {
+				sibling := funcID(fn) + suffix
+				if _, ok := decls[sibling]; !ok {
+					continue
+				}
+				r.Report(Error, call.Pos(),
+					"budget parameter %q is dropped: %s has a budget-aware sibling %s",
+					param, shortFuncID(funcID(fn)), shortFuncID(sibling))
+				break // one finding per call, even when both siblings exist
 			}
-			r.Report(Error, call.Pos(),
-				"deadline parameter %q is dropped: %s has a deadline-aware sibling %s",
-				param, shortFuncID(funcID(fn)), shortFuncID(sibling))
 			return true
 		})
 	}
 }
 
-// deadlineParam returns the name of the first parameter that carries a
-// deadline — a context.Context, or a name containing deadline, timeout
-// or budget ("" when the function carries none).
-func deadlineParam(info *types.Info, fd *ast.FuncDecl) string {
+// budgetAware reports whether a function name already spells a
+// budget-taking variant.
+func budgetAware(name string) bool {
+	for _, suffix := range budgetSuffixes {
+		if strings.HasSuffix(name, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// budgetParam returns the name of the first parameter that carries a
+// request budget — an rtctx.Request (pointer or value), a
+// context.Context, or a name containing deadline, timeout or budget
+// ("" when the function carries none).
+func budgetParam(info *types.Info, fd *ast.FuncDecl) string {
 	if fd.Type.Params == nil {
 		return ""
 	}
@@ -88,7 +110,8 @@ func deadlineParam(info *types.Info, fd *ast.FuncDecl) string {
 				strings.Contains(lower, "budget") {
 				return name.Name
 			}
-			if obj := info.Defs[name]; obj != nil && isContextType(obj.Type()) {
+			if obj := info.Defs[name]; obj != nil &&
+				(isContextType(obj.Type()) || isRequestCtxType(obj.Type())) {
 				return name.Name
 			}
 		}
@@ -103,4 +126,17 @@ func isContextType(t types.Type) bool {
 		return false
 	}
 	return n.Obj().Pkg().Path() == "context" && n.Obj().Name() == "Context"
+}
+
+// isRequestCtxType reports whether t is rtctx.Request or
+// *rtctx.Request — the module's first-class request context.
+func isRequestCtxType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	return strings.HasSuffix(n.Obj().Pkg().Path(), "/rtctx") && n.Obj().Name() == "Request"
 }

@@ -26,11 +26,15 @@ import (
 // process for a full request.
 var DefaultBlockingFuncs = []string{
 	"(*edgeinfer/internal/serve.Executor).Do",
+	"(*edgeinfer/internal/serve.Executor).DoCtx",
 	"(*edgeinfer/internal/serve.Executor).DoDeadline",
 	"(*edgeinfer/internal/serve.Executor).DoBatch",
+	"(*edgeinfer/internal/serve.Executor).DoBatchCtx",
 	"(*edgeinfer/internal/serve.Executor).DoBatchDeadline",
 	"(*edgeinfer/internal/serve.Pool).Do",
+	"(*edgeinfer/internal/serve.Pool).DoCtx",
 	"(*edgeinfer/internal/serve.Pool).DoBatch",
+	"(*edgeinfer/internal/serve.Pool).DoBatchCtx",
 	"(*edgeinfer/internal/serve.Pool).DoBatchDeadline",
 }
 

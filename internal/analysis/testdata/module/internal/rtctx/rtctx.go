@@ -1,0 +1,19 @@
+// Package rtctx mirrors the real request-context leaf package so the
+// deadlineflow fixtures can declare budget-carrying parameters: the
+// analyzer recognizes rtctx.Request (pointer or value) by its package
+// path suffix and type name.
+package rtctx
+
+// Request is one request's real-time identity.
+type Request struct {
+	BudgetSec float64
+	Abort     bool
+}
+
+// Budget is the nil-safe budget accessor.
+func (r *Request) Budget() float64 {
+	if r == nil {
+		return 0
+	}
+	return r.BudgetSec
+}

@@ -10,6 +10,8 @@ package serve
 import (
 	"sync"
 	"time"
+
+	"edgeinfer/internal/rtctx"
 )
 
 // Executor mirrors the real serving executor so the seeded blocking
@@ -83,27 +85,46 @@ func (q *Queue) AllowedSend(v int) {
 	q.ch <- v //rt:allow lockorder fixture proves compact-directive suppression
 }
 
-// Run and RunDeadline are the deadline-sibling pair.
+// Run, RunCtx and RunDeadline are the budget-sibling family: both
+// suffix spellings exist, so a dropped budget must still report
+// exactly once per call.
 func (q *Queue) Run(x int) int { return x }
 
-// RunDeadline is Run under a budget.
+// RunCtx is Run under a request context.
+func (q *Queue) RunCtx(ctx *rtctx.Request, x int) int {
+	_ = ctx.Budget()
+	return x
+}
+
+// RunDeadline is Run under a scalar budget.
 func (q *Queue) RunDeadline(x int, deadlineSec float64) int {
 	_ = deadlineSec
 	return x
 }
 
-// Serve drops its deadline: Run has a deadline-aware sibling.
+// Serve drops its deadline: Run has budget-aware siblings.
 func (q *Queue) Serve(x int, deadlineSec float64) int {
 	return q.Run(x) // want:deadlineflow
 }
 
-// ServeBudget threads the budget into the sibling: no finding.
+// ServeRequest drops its request context: the rtctx.Request parameter
+// marks it a budget carrier even without a deadline-flavored name.
+func (q *Queue) ServeRequest(ctx *rtctx.Request, x int) int {
+	return q.Run(x) // want:deadlineflow
+}
+
+// ServeBudget threads the budget into the Deadline sibling: no finding.
 func (q *Queue) ServeBudget(x int, deadlineSec float64) int {
 	return q.RunDeadline(x, deadlineSec)
 }
 
+// ServeThreaded threads the context into the Ctx sibling: no finding.
+func (q *Queue) ServeThreaded(ctx *rtctx.Request, x int) int {
+	return q.RunCtx(ctx, x)
+}
+
 // ServeAllowed documents why the plain call is correct here.
-func (q *Queue) ServeAllowed(x int, deadlineSec float64) int {
-	_ = deadlineSec
+func (q *Queue) ServeAllowed(ctx *rtctx.Request, x int) int {
+	_ = ctx.Budget()
 	return q.Run(x) //rt:allow deadlineflow fixture: budget is checked before dispatch
 }

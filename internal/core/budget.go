@@ -1,0 +1,71 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"edgeinfer/internal/gpusim"
+	"edgeinfer/internal/rtctx"
+	"edgeinfer/internal/tensor"
+)
+
+// ErrBudgetExhausted is the layer-boundary abort: InferBatchCtx returns
+// it (wrapped, test with errors.Is) when the batch's charged schedule
+// proves the request cannot answer inside its budget, so the caller can
+// abandon mid-graph instead of finishing a pass nobody is waiting for.
+var ErrBudgetExhausted = errors.New("core: request budget exhausted mid-graph")
+
+// layerGuard is consulted at each layer boundary of the batched
+// inference loop, before the layer executes. A non-nil error aborts the
+// batch there. A nil guard is free: the hot path never pays for it.
+type layerGuard func(li int, name string) error
+
+// layerCostsSec prices each graph layer on a device from the engine's
+// kernel plan: every launch's modeled time (with the steady-state
+// overlap factor) plus launch overhead is attributed to the last of its
+// source layers, so a horizontally merged group charges when the group
+// completes. Layers without a launch (inputs, folded ops) cost zero.
+func (e *Engine) layerCostsSec(dev *gpusim.Device) map[string]float64 {
+	costs := make(map[string]float64, len(e.Launches))
+	for _, l := range e.Launches {
+		if len(l.Layers) == 0 {
+			continue
+		}
+		costs[l.Layers[len(l.Layers)-1]] += l.Spec.TimeSec(dev)*overlapFactor + dev.LaunchOverheadSec()
+	}
+	return costs
+}
+
+// InferBatchCtx is InferBatchFaulty under a request context: the
+// single budget-carrying inference path the serving tiers dispatch
+// through. burnedSec is the simulated latency the request has already
+// paid (failed attempts, backoff, this attempt's timed pass) before
+// this inference runs. When the context aborts (rtctx.Request.Aborts)
+// and a device is supplied, each layer boundary charges the layer's
+// modeled cost against the budget and aborts with a wrapped
+// ErrBudgetExhausted once burned-plus-charged exceeds it — the batch
+// stops mid-graph instead of completing an answer that can only be
+// late. The charge uses the noise-free expected schedule, not the
+// jittered run latency, so the abort is deterministic for a given
+// engine and device.
+//
+// With a nil context, an unarmed one, or a nil device it is exactly
+// InferBatchFaulty: same results, same injector draw order, no
+// allocation added to the hot path.
+func (e *Engine) InferBatchCtx(ctx *rtctx.Request, xs []*tensor.Tensor, fi FaultInjector, dev *gpusim.Device, burnedSec float64) ([][]*tensor.Tensor, error) {
+	if !ctx.Aborts() || dev == nil {
+		return e.inferBatchGuarded(xs, fi, nil)
+	}
+	costs := e.layerCostsSec(dev)
+	budget := ctx.Budget()
+	charged := burnedSec
+	guard := func(li int, name string) error {
+		charged += costs[name]
+		if charged > budget {
+			return fmt.Errorf("layer %d (%s) would end at %.3gs of a %.3gs budget: %w",
+				li, name, charged, budget, ErrBudgetExhausted)
+		}
+		return nil
+	}
+	return e.inferBatchGuarded(xs, fi, guard)
+}

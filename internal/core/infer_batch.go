@@ -33,8 +33,19 @@ func (e *Engine) InferBatch(xs []*tensor.Tensor) ([][]*tensor.Tensor, error) {
 // per-image path, the injector is consulted once per layer — one Launch
 // verdict and one weight-corruption draw cover the whole batch, modeling
 // one batched kernel launch — while activation corruption still applies
-// per image (each image's activation is a distinct tensor).
+// per image (each image's activation is a distinct tensor). Budget-
+// carrying callers go through InferBatchCtx, which is this path with a
+// layer-boundary guard armed.
 func (e *Engine) InferBatchFaulty(xs []*tensor.Tensor, fi FaultInjector) ([][]*tensor.Tensor, error) {
+	return e.inferBatchGuarded(xs, fi, nil)
+}
+
+// inferBatchGuarded is the one batched-inference body. The guard, when
+// non-nil, is consulted at each layer boundary before the layer's
+// launch verdict; its error aborts the batch mid-graph without drawing
+// for the aborted layer. The nil-guard path is byte-for-byte
+// InferBatchFaulty: identical injector draw order, no extra allocation.
+func (e *Engine) inferBatchGuarded(xs []*tensor.Tensor, fi FaultInjector, guard layerGuard) ([][]*tensor.Tensor, error) {
 	if !e.Numeric {
 		return nil, fmt.Errorf("core: engine %s is timing-only (no weights materialized)", e.Key())
 	}
@@ -65,6 +76,11 @@ func (e *Engine) InferBatchFaulty(xs []*tensor.Tensor, fi FaultInjector) ([][]*t
 		bs.release(owned)
 	}()
 	for li, l := range g.Layers {
+		if guard != nil && l.Op != graph.OpInput {
+			if err := guard(li, l.Name); err != nil {
+				return nil, fmt.Errorf("core: infer %s: %w", e.Key(), err)
+			}
+		}
 		if fi != nil && l.Op != graph.OpInput {
 			if lf := fi.Launch(li, l.Name); lf.Fail {
 				return nil, fmt.Errorf("core: infer %s layer %s: %w", e.Key(), l.Name, ErrLaunchFailed)

@@ -3,6 +3,7 @@ package netserve
 import (
 	"fmt"
 
+	"edgeinfer/internal/rtctx"
 	"edgeinfer/internal/serve"
 	"edgeinfer/internal/tensor"
 )
@@ -26,25 +27,30 @@ type BatchAnswer struct {
 	// every member — the batch rides one launch sequence).
 	LatencySec float64
 	// DeadlineMiss reports the simulated service latency overran the
-	// batch's deadline budget.
+	// batch's budget — the serving layer's own verdict, identical for
+	// executor- and pool-backed models.
 	DeadlineMiss bool
 }
 
-// Backend serves coalesced batches for one model. ServeBatch must
-// return an error wrapping serve.ErrDeadlineExceeded when the budget
-// expired before any tier answered, a nil error with len(Results) ==
-// len(xs) otherwise; it is called from a single batcher goroutine per
-// model. Ready feeds the readiness probe.
+// Backend serves coalesced batches for one model. The batch's request
+// context carries its budget (the tightest member deadline), band and
+// tenant; ServeBatch must thread it through a budget-carrying serving
+// path (the deadlineflow analyzer enforces that) and return an error
+// wrapping serve.ErrDeadlineExceeded when the budget expired — or a
+// layer-boundary check proved it unmeetable — before any tier
+// answered, a nil error with len(Results) == len(xs) otherwise; it is
+// called from a single batcher goroutine per model. Ready feeds the
+// readiness probe.
 type Backend interface {
-	ServeBatch(xs []*tensor.Tensor, runIndex int, deadlineSec float64) (*BatchAnswer, error)
+	ServeBatch(ctx *rtctx.Request, xs []*tensor.Tensor, runIndex int) (*BatchAnswer, error)
 	Ready() (ok bool, detail string)
 	InputShape() [4]int
 }
 
-// executorBackend serves through a resilient serve.Executor: the
-// per-batch deadline budget clamps through the executor's deadline
-// machinery (retry backoff clamped to the remaining budget, typed
-// ErrDeadlineExceeded on expiry).
+// executorBackend serves through a resilient serve.Executor: the batch
+// context clamps through the executor's deadline machinery (retry
+// backoff clamped to the remaining budget, layer-boundary abort inside
+// the batched inference, typed ErrDeadlineExceeded on expiry).
 type executorBackend struct {
 	ex    *serve.Executor
 	shape [4]int
@@ -58,8 +64,8 @@ func NewExecutorBackend(ex *serve.Executor, shape [4]int) Backend {
 
 func (b *executorBackend) InputShape() [4]int { return b.shape }
 
-func (b *executorBackend) ServeBatch(xs []*tensor.Tensor, runIndex int, deadlineSec float64) (*BatchAnswer, error) {
-	br, err := b.ex.DoBatchDeadline(xs, runIndex, deadlineSec)
+func (b *executorBackend) ServeBatch(ctx *rtctx.Request, xs []*tensor.Tensor, runIndex int) (*BatchAnswer, error) {
+	br, err := b.ex.DoBatchCtx(ctx, xs, runIndex)
 	if err != nil {
 		return nil, err
 	}
@@ -79,12 +85,13 @@ func (b *executorBackend) Ready() (bool, string) {
 	return true, h.State
 }
 
-// poolBackend serves through a self-healing serve.Pool. The batch's
-// deadline budget flows into the fleet dispatch (DoBatchDeadline aborts
-// a batch whose burned latency exceeds the budget) and any residual
-// overrun in the simulated batch-release latency is reported as a miss
-// on every member; readiness follows the supervisor's active replica
-// count.
+// poolBackend serves through a self-healing serve.Pool. The batch
+// context flows into the fleet dispatch (DoBatchCtx arms the
+// layer-boundary guard and aborts a batch whose burned latency exceeds
+// the budget) and the miss verdict is the fleet's own
+// (PoolBatchResult.DeadlineMiss), so executor- and pool-backed models
+// report misses identically; readiness follows the supervisor's active
+// replica count.
 type poolBackend struct {
 	pool  *serve.Pool
 	shape [4]int
@@ -101,8 +108,8 @@ func NewPoolBackend(pool *serve.Pool) Backend {
 
 func (b *poolBackend) InputShape() [4]int { return b.shape }
 
-func (b *poolBackend) ServeBatch(xs []*tensor.Tensor, runIndex int, deadlineSec float64) (*BatchAnswer, error) {
-	br, err := b.pool.DoBatchDeadline(xs, runIndex, deadlineSec)
+func (b *poolBackend) ServeBatch(ctx *rtctx.Request, xs []*tensor.Tensor, runIndex int) (*BatchAnswer, error) {
+	br, err := b.pool.DoBatchCtx(ctx, xs, runIndex)
 	if err != nil {
 		return nil, err
 	}
@@ -111,7 +118,7 @@ func (b *poolBackend) ServeBatch(xs []*tensor.Tensor, runIndex int, deadlineSec 
 	}
 	ba := &BatchAnswer{
 		LatencySec:   br.LatencySec,
-		DeadlineMiss: deadlineSec > 0 && br.LatencySec > deadlineSec,
+		DeadlineMiss: br.DeadlineMiss,
 	}
 	ba.Results = make([]Answer, len(xs))
 	for i, pr := range br.Results {

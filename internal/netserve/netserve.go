@@ -11,10 +11,16 @@
 // the youngest queued low-priority request), a draining server sheds
 // everything, and a request whose client deadline expires in the queue
 // is answered 504 on the spot. Client deadlines arrive in an
-// X-Deadline-Ms header, are clamped to the server's bounds, and flow
-// into the executor's deadline machinery as the batch's serving budget,
-// so a hopeless batch is abandoned with serve.ErrDeadlineExceeded
-// instead of burning fallback latency. Liveness (/healthz), readiness
+// X-Deadline-Ms header, are clamped to the server's bounds, and are
+// stamped — with the X-Priority band and X-Tenant id — into one
+// rtctx.Request per arrival that every layer below reads: the batch's
+// serving budget flows through the executor's deadline machinery down
+// to core's layer-boundary guard, so a hopeless batch is abandoned with
+// serve.ErrDeadlineExceeded mid-graph instead of burning fallback
+// latency. Config.EDF swaps the two-band FIFO for an
+// earliest-deadline-first queue with drop-late eviction, and
+// Config.WCETAdmission sheds any request whose budget a certified
+// worst-case bound proves unmeetable. Liveness (/healthz), readiness
 // (/readyz, wired to Pool.Health / Executor.Health) and a stats
 // endpoint (/statsz) make the server probeable, and Drain performs the
 // graceful exit: stop admitting, flush every in-flight batch, then
@@ -35,6 +41,7 @@ import (
 	"time"
 
 	"edgeinfer/internal/dataset"
+	"edgeinfer/internal/rtctx"
 	"edgeinfer/internal/serve"
 	"edgeinfer/internal/tensor"
 )
@@ -63,6 +70,23 @@ type Config struct {
 	MaxDeadline     time.Duration
 	// MaxBodyBytes bounds a request body (default 1MiB).
 	MaxBodyBytes int64
+	// EDF selects the earliest-deadline-first queue discipline: one
+	// deadline-ordered queue per model with drop-late eviction (a full
+	// queue evicts its latest-deadline member for a more urgent
+	// arrival), instead of the default two-band FIFO.
+	EDF bool
+	// WCETAdmission gates admission on each model's certified
+	// worst-case-execution-time bound: a request whose whole budget is
+	// below the bound is shed 503 immediately — queueing it could only
+	// produce a 504. The bound is ModelConfig.WCETSec when set,
+	// otherwise certified through the registry (wcet.Measure over
+	// WCETRuns runs, inflated by WCETMargin).
+	WCETAdmission bool
+	// WCETRuns is the certification sample count (default 12).
+	WCETRuns int
+	// WCETMargin is the safety margin over the empirical maximum
+	// (default 0.2).
+	WCETMargin float64
 }
 
 // ModelConfig is one served model. With a nil Backend, Replicas >= 2
@@ -73,6 +97,10 @@ type ModelConfig struct {
 	Replicas int
 	Quorum   bool
 	Backend  Backend
+	// WCETSec is an explicit worst-case service bound in simulated
+	// seconds for WCET admission (required for custom backends when
+	// Config.WCETAdmission is set; overrides registry certification).
+	WCETSec float64
 }
 
 func (c *Config) withDefaults() Config {
@@ -95,6 +123,12 @@ func (c *Config) withDefaults() Config {
 	if d.MaxBodyBytes <= 0 {
 		d.MaxBodyBytes = 1 << 20
 	}
+	if d.WCETRuns <= 0 {
+		d.WCETRuns = 12
+	}
+	if d.WCETMargin <= 0 {
+		d.WCETMargin = 0.2
+	}
 	return d
 }
 
@@ -111,6 +145,8 @@ type InferReply struct {
 	BatchSize int `json:"batch_size"`
 	// Tier names the serving path (executor tier or fleet slot).
 	Tier string `json:"tier"`
+	// Tenant echoes the X-Tenant header the request carried.
+	Tenant string `json:"tenant,omitempty"`
 	// Degraded and DeadlineMiss mirror the executor/fleet verdicts.
 	Degraded     bool `json:"degraded,omitempty"`
 	DeadlineMiss bool `json:"deadline_miss,omitempty"`
@@ -120,7 +156,7 @@ type InferReply struct {
 type ErrReply struct {
 	Error string `json:"error"`
 	// Reason is machine-readable: "queue-full", "evicted", "draining",
-	// "deadline", "backend", "bad-request", "unknown-model".
+	// "wcet", "deadline", "backend", "bad-request", "unknown-model".
 	Reason string `json:"reason"`
 }
 
@@ -133,6 +169,8 @@ type ModelStats struct {
 	ShedLow        uint64 `json:"shed_low"`
 	ShedHigh       uint64 `json:"shed_high"`
 	Evicted        uint64 `json:"evicted"`
+	EDFEvictions   uint64 `json:"edf_evictions"`
+	WCETShed       uint64 `json:"wcet_shed"`
 	Expired        uint64 `json:"expired"`
 	Aborted        uint64 `json:"aborted"`
 	DeadlineMisses uint64 `json:"deadline_misses"`
@@ -204,7 +242,21 @@ func New(cfg Config) (*Server, error) {
 				return nil, err
 			}
 		}
-		s.queues[mc.Name] = newModelQueue(mc.Name, be, c.MaxBatch, c.BatchWindow, c.QueueDepth)
+		var wcetSec float64
+		if c.WCETAdmission {
+			wcetSec = mc.WCETSec
+			if wcetSec <= 0 {
+				if c.Registry == nil {
+					return nil, fmt.Errorf("netserve: model %q has WCET admission enabled but no WCETSec bound and no registry to certify one", mc.Name)
+				}
+				var err error
+				wcetSec, err = c.Registry.WCETBound(mc.Name, c.WCETRuns, c.WCETMargin)
+				if err != nil {
+					return nil, fmt.Errorf("netserve: WCET certification of %q: %w", mc.Name, err)
+				}
+			}
+		}
+		s.queues[mc.Name] = newModelQueue(mc.Name, be, c.MaxBatch, c.BatchWindow, c.QueueDepth, c.EDF, wcetSec)
 	}
 	// Deterministic benign inputs for {"input": N} requests: one per
 	// class, same synthesis the experiments use.
@@ -384,15 +436,29 @@ func (s *Server) parseDeadline(r *http.Request) (time.Duration, error) {
 }
 
 // parsePriority reads X-Priority ("high", "low" or absent).
-func parsePriority(r *http.Request) (high bool, err error) {
+func parsePriority(r *http.Request) (band rtctx.Band, err error) {
 	switch h := r.Header.Get("X-Priority"); h {
 	case "", "low":
-		return false, nil
+		return rtctx.BandLow, nil
 	case "high":
-		return true, nil
+		return rtctx.BandHigh, nil
 	default:
-		return false, fmt.Errorf("X-Priority %q is not \"high\" or \"low\"", h)
+		return rtctx.BandLow, fmt.Errorf("X-Priority %q is not \"high\" or \"low\"", h)
 	}
+}
+
+// maxTenantLen bounds the X-Tenant header: the tenant id is echoed into
+// responses and stats, so an unbounded header is an amplification
+// vector.
+const maxTenantLen = 128
+
+// parseTenant reads X-Tenant (an opaque tenant id, optional).
+func parseTenant(r *http.Request) (string, error) {
+	t := r.Header.Get("X-Tenant")
+	if len(t) > maxTenantLen {
+		return "", fmt.Errorf("X-Tenant exceeds %d bytes", maxTenantLen)
+	}
+	return t, nil
 }
 
 // decodeInput turns the request body into a model-shaped tensor. Raw
@@ -434,12 +500,17 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "unknown-model", fmt.Sprintf("model %q is not served", r.PathValue("model")))
 		return
 	}
-	high, err := parsePriority(r)
+	band, err := parsePriority(r)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "bad-request", err.Error())
 		return
 	}
 	budget, err := s.parseDeadline(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad-request", err.Error())
+		return
+	}
+	tenant, err := parseTenant(r)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "bad-request", err.Error())
 		return
@@ -463,13 +534,21 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// One first-class request context per arrival: every layer below —
+	// queue ordering, WCET admission, the batch budget, the executor's
+	// deadline machinery, the layer-boundary guard — reads this value.
 	now := time.Now()
 	req := &request{
-		x:        x,
-		high:     high,
-		deadline: now.Add(budget),
-		enqueued: now,
-		resp:     make(chan response, 1),
+		x: x,
+		ctx: &rtctx.Request{
+			BudgetSec: budget.Seconds(),
+			Abort:     true,
+			Band:      band,
+			Tenant:    tenant,
+			Arrival:   now,
+			Deadline:  now.Add(budget),
+		},
+		resp: make(chan response, 1),
 	}
 	if shed := q.admit(req); shed != nil {
 		s.writeResponse(w, *shed)

@@ -17,6 +17,7 @@ import (
 	"edgeinfer/internal/faults"
 	"edgeinfer/internal/gpusim"
 	"edgeinfer/internal/netserve"
+	"edgeinfer/internal/rtctx"
 	"edgeinfer/internal/serve"
 	"edgeinfer/internal/tensor"
 )
@@ -56,7 +57,7 @@ func (b *fakeBackend) setErr(err error) {
 	b.mu.Unlock()
 }
 
-func (b *fakeBackend) ServeBatch(xs []*tensor.Tensor, runIndex int, deadlineSec float64) (*netserve.BatchAnswer, error) {
+func (b *fakeBackend) ServeBatch(ctx *rtctx.Request, xs []*tensor.Tensor, runIndex int) (*netserve.BatchAnswer, error) {
 	if b.start != nil {
 		select {
 		case b.start <- struct{}{}:

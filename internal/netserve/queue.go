@@ -3,20 +3,24 @@ package netserve
 import (
 	"errors"
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"edgeinfer/internal/rtctx"
 	"edgeinfer/internal/serve"
 	"edgeinfer/internal/tensor"
 )
 
-// request is one admitted inference request waiting for its batch.
+// request is one admitted inference request waiting for its batch. Its
+// real-time identity — budget, priority band, tenant, arrival and
+// wall-clock deadline — lives in one rtctx.Request stamped by the
+// handler, which is also what the queue orders by in EDF mode and what
+// the backend threads down to the layer-boundary guard.
 type request struct {
-	x        *tensor.Tensor
-	high     bool
-	deadline time.Time
-	enqueued time.Time
+	x   *tensor.Tensor
+	ctx *rtctx.Request
 	// resp receives exactly one response (buffered so the batcher never
 	// blocks on a handler that stopped listening).
 	resp chan response
@@ -25,6 +29,8 @@ type request struct {
 	// a dead client.
 	canceled atomic.Bool
 }
+
+func (r *request) high() bool { return r.ctx.Band == rtctx.BandHigh }
 
 // deliver hands the request its response. Non-blocking: the channel has
 // capacity 1 and each request is answered exactly once, so the default
@@ -47,16 +53,28 @@ type response struct {
 // batcher goroutine that drains it. Admission, eviction and shedding
 // happen under mu; the batcher packs admitted requests into
 // size-or-window-triggered batches and serves them through the backend.
+//
+// Two queue disciplines: the default two-band FIFO (high band first,
+// a high arrival evicts the youngest queued low when full), or EDF —
+// one queue ordered by wall-clock deadline (earliest first, band
+// breaking ties), where a full queue evicts the latest-deadline member
+// if the newcomer is more urgent (drop-late) and sheds the newcomer
+// otherwise. A positive wcetSec arms WCET admission: a request whose
+// whole budget is below the certified worst-case service bound is shed
+// at the door — it would only be queued to miss.
 type modelQueue struct {
 	model    string
 	be       Backend
 	maxBatch int
 	window   time.Duration
 	depth    int
+	edf      bool
+	wcetSec  float64
 
 	mu       sync.Mutex
 	high     []*request
 	low      []*request
+	edfq     []*request // EDF mode: deadline-ordered, earliest first
 	draining bool
 	stats    ModelStats
 	runIndex int
@@ -68,13 +86,15 @@ type modelQueue struct {
 	drainOnce sync.Once
 }
 
-func newModelQueue(model string, be Backend, maxBatch int, window time.Duration, depth int) *modelQueue {
+func newModelQueue(model string, be Backend, maxBatch int, window time.Duration, depth int, edf bool, wcetSec float64) *modelQueue {
 	return &modelQueue{
 		model:    model,
 		be:       be,
 		maxBatch: maxBatch,
 		window:   window,
 		depth:    depth,
+		edf:      edf,
+		wcetSec:  wcetSec,
 		wake:     make(chan struct{}, 1),
 		drainCh:  make(chan struct{}),
 	}
@@ -106,37 +126,70 @@ func shedResp(reason string) response {
 
 // admit applies the admission policy. It returns nil when the request
 // was queued; otherwise the response the caller must write (a shed).
-// When the queue is full and a high-priority request arrives, the
-// youngest queued low-priority request is evicted in its favor — shed
-// low first, and shed the request with the least sunk queueing time.
-// Every shed is an explicit 503 with Retry-After, never a hang.
+// Order of gates: draining sheds everything; WCET admission sheds a
+// request whose budget the certified bound proves unmeetable (the 503
+// arrives in microseconds instead of a 504 after the budget burned);
+// then the full-queue policy of the active discipline. Every shed is an
+// explicit 503 with Retry-After, never a hang.
 func (q *modelQueue) admit(req *request) *response {
 	q.mu.Lock()
 	if q.draining {
-		q.countShed(req.high)
+		q.countShed(req.high())
 		q.mu.Unlock()
 		r := shedResp("draining")
 		return &r
 	}
+	if q.wcetSec > 0 && req.ctx.Budget() < q.wcetSec {
+		q.stats.WCETShed++
+		q.countShed(req.high())
+		q.mu.Unlock()
+		r := shedResp("wcet")
+		return &r
+	}
 	var victim *request
-	if len(q.high)+len(q.low) >= q.depth {
-		if !req.high || len(q.low) == 0 {
-			q.countShed(req.high)
-			q.mu.Unlock()
-			r := shedResp("queue-full")
-			return &r
+	if q.edf {
+		if len(q.edfq) >= q.depth {
+			last := q.edfq[len(q.edfq)-1]
+			if !req.ctx.EarlierThan(last.ctx) {
+				q.countShed(req.high())
+				q.mu.Unlock()
+				r := shedResp("queue-full")
+				return &r
+			}
+			// Drop-late: the queued request with the latest deadline is
+			// the one most likely already hopeless.
+			victim = last
+			q.edfq = q.edfq[:len(q.edfq)-1]
+			q.stats.Evicted++
+			q.stats.EDFEvictions++
+			q.countShed(victim.high())
 		}
-		victim = q.low[len(q.low)-1]
-		q.low = q.low[:len(q.low)-1]
-		q.stats.Evicted++
-		q.countShed(false)
-	}
-	if req.high {
-		q.high = append(q.high, req)
+		i := sort.Search(len(q.edfq), func(i int) bool {
+			return req.ctx.EarlierThan(q.edfq[i].ctx)
+		})
+		q.edfq = append(q.edfq, nil)
+		copy(q.edfq[i+1:], q.edfq[i:])
+		q.edfq[i] = req
 	} else {
-		q.low = append(q.low, req)
+		if len(q.high)+len(q.low) >= q.depth {
+			if !req.high() || len(q.low) == 0 {
+				q.countShed(req.high())
+				q.mu.Unlock()
+				r := shedResp("queue-full")
+				return &r
+			}
+			victim = q.low[len(q.low)-1]
+			q.low = q.low[:len(q.low)-1]
+			q.stats.Evicted++
+			q.countShed(false)
+		}
+		if req.high() {
+			q.high = append(q.high, req)
+		} else {
+			q.low = append(q.low, req)
+		}
 	}
-	if d := len(q.high) + len(q.low); d > q.stats.MaxQueueDepth {
+	if d := q.depthLocked(); d > q.stats.MaxQueueDepth {
 		q.stats.MaxQueueDepth = d
 	}
 	q.stats.Accepted++
@@ -157,22 +210,32 @@ func (q *modelQueue) countShed(high bool) {
 	}
 }
 
+func (q *modelQueue) depthLocked() int {
+	return len(q.high) + len(q.low) + len(q.edfq)
+}
+
 func (q *modelQueue) empty() bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return len(q.high)+len(q.low) == 0
+	return q.depthLocked() == 0
 }
 
-// popLive pops the next serviceable request (high band first). Canceled
-// requests are dropped silently (the handler already counted the
-// disconnect); requests whose deadline has already expired are answered
-// 504 on the spot — a queue must never spend a batch slot on an answer
-// nobody can use.
+// popLive pops the next serviceable request (earliest deadline in EDF
+// mode, high band first in FIFO mode). Canceled requests are dropped
+// silently (the handler already counted the disconnect); requests whose
+// deadline has already expired are answered 504 on the spot — a queue
+// must never spend a batch slot on an answer nobody can use.
 func (q *modelQueue) popLive() *request {
 	for {
 		q.mu.Lock()
 		var r *request
 		switch {
+		case len(q.edfq) > 0:
+			r = q.edfq[0]
+			q.edfq = q.edfq[1:]
+			if len(q.edfq) == 0 {
+				q.edfq = nil
+			}
 		case len(q.high) > 0:
 			r = q.high[0]
 			q.high = q.high[1:]
@@ -194,7 +257,7 @@ func (q *modelQueue) popLive() *request {
 			q.mu.Unlock()
 			continue
 		}
-		if time.Now().After(r.deadline) {
+		if r.ctx.Expired(time.Now()) {
 			q.stats.Expired++
 			q.stats.DeadlineMisses++
 			q.mu.Unlock()
@@ -269,18 +332,27 @@ func (q *modelQueue) run(wg *sync.WaitGroup) {
 	}
 }
 
-// serveBatch runs one coalesced batch through the backend and fans the
-// per-request responses out. The batch's serving budget is its tightest
-// member deadline, clamped through the executor's deadline machinery by
-// the backend.
-func (q *modelQueue) serveBatch(batch []*request) {
-	start := time.Now()
-	xs := make([]*tensor.Tensor, len(batch))
+// batchCtx derives the batch's request context from its members: the
+// budget is the tightest member's remaining deadline, the band the
+// highest member band (one urgent member makes the whole launch
+// urgent), the tenant is kept only when every member agrees (a batch
+// has no single tenant otherwise). The context aborts: a batch the
+// layer-boundary guard proves hopeless stops mid-graph.
+func batchCtx(batch []*request, start time.Time) *rtctx.Request {
 	minRem := math.MaxFloat64
-	for i, r := range batch {
-		xs[i] = r.x
-		if rem := r.deadline.Sub(start).Seconds(); rem < minRem {
+	deadline := time.Time{}
+	band := rtctx.BandLow
+	tenant := batch[0].ctx.Tenant
+	for _, r := range batch {
+		if rem := r.ctx.RemainingSec(start); rem < minRem {
 			minRem = rem
+			deadline = r.ctx.Deadline
+		}
+		if r.ctx.Band == rtctx.BandHigh {
+			band = rtctx.BandHigh
+		}
+		if r.ctx.Tenant != tenant {
+			tenant = ""
 		}
 	}
 	if minRem <= 0 {
@@ -288,6 +360,27 @@ func (q *modelQueue) serveBatch(batch []*request) {
 		// batch a hair of budget rather than a guaranteed abort.
 		minRem = 1e-6
 	}
+	return &rtctx.Request{
+		BudgetSec: minRem,
+		Abort:     true,
+		Band:      band,
+		Tenant:    tenant,
+		Arrival:   start,
+		Deadline:  deadline,
+	}
+}
+
+// serveBatch runs one coalesced batch through the backend and fans the
+// per-request responses out. The batch's serving budget is its tightest
+// member deadline, threaded as one rtctx.Request through the backend's
+// budget-carrying path down to the layer-boundary guard.
+func (q *modelQueue) serveBatch(batch []*request) {
+	start := time.Now()
+	xs := make([]*tensor.Tensor, len(batch))
+	for i, r := range batch {
+		xs[i] = r.x
+	}
+	bctx := batchCtx(batch, start)
 	q.mu.Lock()
 	idx := q.runIndex
 	q.runIndex++
@@ -295,7 +388,7 @@ func (q *modelQueue) serveBatch(batch []*request) {
 	q.stats.BatchedInputs += uint64(len(batch))
 	q.mu.Unlock()
 
-	ans, err := q.be.ServeBatch(xs, idx, minRem)
+	ans, err := q.be.ServeBatch(bctx, xs, idx)
 	switch {
 	case err != nil && errors.Is(err, serve.ErrDeadlineExceeded):
 		q.mu.Lock()
@@ -317,7 +410,7 @@ func (q *modelQueue) serveBatch(batch []*request) {
 		var served, misses uint64
 		for i, r := range batch {
 			a := ans.Results[i]
-			miss := ans.DeadlineMiss || done.After(r.deadline)
+			miss := ans.DeadlineMiss || r.ctx.Expired(done)
 			served++
 			if miss {
 				misses++
@@ -330,9 +423,10 @@ func (q *modelQueue) serveBatch(batch []*request) {
 				Model:        q.model,
 				Argmax:       arg,
 				LatencySec:   ans.LatencySec,
-				QueueMS:      float64(start.Sub(r.enqueued)) / float64(time.Millisecond),
+				QueueMS:      float64(start.Sub(r.ctx.Arrival)) / float64(time.Millisecond),
 				BatchSize:    len(batch),
 				Tier:         a.Tier,
+				Tenant:       r.ctx.Tenant,
 				Degraded:     a.Degraded,
 				DeadlineMiss: miss,
 			}})
@@ -349,7 +443,7 @@ func (q *modelQueue) snapshot() ModelStats {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	s := q.stats
-	s.QueueDepth = len(q.high) + len(q.low)
+	s.QueueDepth = q.depthLocked()
 	return s
 }
 

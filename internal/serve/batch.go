@@ -8,10 +8,12 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"edgeinfer/internal/core"
+	"edgeinfer/internal/rtctx"
 	"edgeinfer/internal/tensor"
 )
 
@@ -37,18 +39,30 @@ type BatchResult struct {
 // the engine plan plus one batched inference; a fault anywhere in the
 // batch fails the whole attempt (the batch rides one launch sequence).
 // On a pristine executor, Outputs[i] is bit-identical to Do(xs[i]).
+// It is DoBatchCtx without a request context.
 func (ex *Executor) DoBatch(xs []*tensor.Tensor, runIndex int) (*BatchResult, error) {
-	return ex.doBatch(xs, runIndex, ex.cfg.DeadlineSec, false)
+	return ex.DoBatchCtx(nil, xs, runIndex)
 }
 
 // DoBatchDeadline is DoBatch under a per-request deadline (clamped with
-// the configured DeadlineSec): the coalescing front-end's serving path,
-// where the batch's budget is the tightest member deadline. Like
-// DoDeadline, a batch whose deadline expires before any tier has served
-// is abandoned with a wrapped ErrDeadlineExceeded instead of paying the
-// per-image FP32 reference passes.
+// the configured DeadlineSec): a batch whose deadline expires before
+// any tier has served is abandoned with a wrapped ErrDeadlineExceeded
+// instead of paying the per-image FP32 reference passes. It is a
+// compatibility wrapper over DoBatchCtx.
 func (ex *Executor) DoBatchDeadline(xs []*tensor.Tensor, runIndex int, deadlineSec float64) (*BatchResult, error) {
-	return ex.doBatch(xs, runIndex, ex.effectiveDeadline(deadlineSec), true)
+	return ex.DoBatchCtx(rtctx.WithBudget(deadlineSec), xs, runIndex)
+}
+
+// DoBatchCtx is the single budget-carrying batch path: the coalescing
+// front-end's serving route, where the batch context carries the
+// tightest member deadline. The context's budget clamps through the
+// configured DeadlineSec; an aborting context additionally arms the
+// layer-boundary guard (core.InferBatchCtx), so a batch whose burned
+// latency plus remaining expected schedule proves it hopeless stops
+// mid-graph with a wrapped ErrDeadlineExceeded instead of finishing a
+// late answer or paying the FP32 tier.
+func (ex *Executor) DoBatchCtx(ctx *rtctx.Request, xs []*tensor.Tensor, runIndex int) (*BatchResult, error) {
+	return ex.doBatch(xs, runIndex, ex.effectiveDeadline(ctx.Budget()), ctx.Aborts())
 }
 
 func (ex *Executor) doBatch(xs []*tensor.Tensor, runIndex int, deadlineSec float64, abort bool) (*BatchResult, error) {
@@ -63,8 +77,17 @@ func (ex *Executor) doBatch(xs []*tensor.Tensor, runIndex int, deadlineSec float
 	ex.count(func(s *Stats) { s.Requests++ })
 	res := &Result{Tier: TierFP32, deadlineSec: deadlineSec}
 
+	// The normalized context the accelerated tiers dispatch through:
+	// armed only on the abort paths, so Do/DoBatch callers keep their
+	// exact injector draw order and answer-late contract.
+	var cctx *rtctx.Request
+	if abort && deadlineSec > 0 {
+		cctx = rtctx.WithBudget(deadlineSec)
+	}
+
 	tryTuned := ex.admitTuned()
 	alloc, _ := ex.cfg.Injector.(Allocator)
+	exhausted := false
 
 	for tier := TierTuned; tier < TierFP32; tier++ {
 		eng := ex.cfg.Engine
@@ -89,9 +112,18 @@ func (ex *Executor) doBatch(xs []*tensor.Tensor, runIndex int, deadlineSec float
 				continue
 			}
 		}
-		outs, ok := ex.tryTierBatch(eng, xs, runIndex, res)
+		var outs [][]*tensor.Tensor
+		var ok bool
+		outs, ok, exhausted = ex.tryTierBatch(eng, cctx, xs, runIndex, res)
 		if alloc != nil {
 			alloc.Free(eng.PerThreadMemBytes())
+		}
+		if exhausted {
+			// A layer-boundary check proved the budget unmeetable: not an
+			// engine fault, so the breaker and tier-failure counters stay
+			// untouched, and no cheaper tier is tried — it runs the same
+			// schedule against the same spent budget.
+			break
 		}
 		if tier == TierTuned {
 			ex.recordPrimary(ok)
@@ -104,6 +136,16 @@ func (ex *Executor) doBatch(xs []*tensor.Tensor, runIndex int, deadlineSec float
 			return batchResult(res, outs), nil
 		}
 		ex.count(func(s *Stats) { s.TierFailures[tier]++ })
+	}
+
+	if exhausted {
+		if !res.DeadlineMiss {
+			res.DeadlineMiss = true
+			ex.count(func(s *Stats) { s.DeadlineMisses++ })
+		}
+		ex.count(func(s *Stats) { s.DeadlineAborts++ })
+		return nil, fmt.Errorf("serve: batch abandoned mid-graph at %.3gs of a %.3gs budget: %w",
+			res.LatencySec, res.deadlineSec, ErrDeadlineExceeded)
 	}
 
 	// Terminal tier: the FP32 host path has no batched kernels — every
@@ -139,8 +181,14 @@ func batchResult(res *Result, outs [][]*tensor.Tensor) *BatchResult {
 	}
 }
 
-// tryTierBatch is tryTier with one batched inference per attempt.
-func (ex *Executor) tryTierBatch(eng *core.Engine, xs []*tensor.Tensor, runIndex int, res *Result) ([][]*tensor.Tensor, bool) {
+// tryTierBatch is tryTier with one batched inference per attempt, run
+// under the normalized request context. The third result reports a
+// mid-graph budget abort: the layer-boundary guard proved the budget
+// unmeetable, so retrying (or degrading) cannot help. The aborted
+// attempt still books its timed-pass latency — the abort saves the
+// remaining host-side numeric work, the other tiers and the FP32
+// reference pass, not the already-priced launch schedule.
+func (ex *Executor) tryTierBatch(eng *core.Engine, ctx *rtctx.Request, xs []*tensor.Tensor, runIndex int, res *Result) (outs [][]*tensor.Tensor, ok, exhausted bool) {
 	cfg := core.RunConfig{
 		Device:        ex.cfg.Device,
 		IncludeMemcpy: ex.cfg.IncludeMemcpy,
@@ -148,20 +196,23 @@ func (ex *Executor) tryTierBatch(eng *core.Engine, xs []*tensor.Tensor, runIndex
 	}
 	for attempt := 0; attempt <= ex.cfg.MaxRetries; attempt++ {
 		if attempt > 0 && !ex.retryWait(attempt, res) {
-			return nil, false
+			return nil, false, false
 		}
+		burned := res.LatencySec
 		run, err := eng.RunFaulty(cfg, ex.cfg.Injector)
 		res.LatencySec += run.LatencySec
-		var outs [][]*tensor.Tensor
 		if err == nil {
-			outs, err = eng.InferBatchFaulty(xs, ex.cfg.Injector)
+			outs, err = eng.InferBatchCtx(ctx, xs, ex.cfg.Injector, ex.cfg.Device, burned)
+			if errors.Is(err, core.ErrBudgetExhausted) {
+				return nil, false, true
+			}
 		}
 		if err == nil {
 			ex.deadlineExceeded(res)
-			return outs, true
+			return outs, true, false
 		}
 	}
-	return nil, false
+	return nil, false, false
 }
 
 // PoolBatchResult is one batched fleet request.
@@ -171,6 +222,10 @@ type PoolBatchResult struct {
 	Results []*PoolResult
 	// LatencySec is the batch release time: the latest per-image release.
 	LatencySec float64
+	// DeadlineMiss reports the batch release time overran the request
+	// context's budget: the fleet's own verdict, computed centrally in
+	// DoBatchCtx so every backend reports misses identically.
+	DeadlineMiss bool
 }
 
 // DoBatch serves one batch through the fleet. Each replica runs once and
@@ -178,23 +233,30 @@ type PoolBatchResult struct {
 // happens per image over the batched outputs. With no injected faults
 // the per-image winners and outputs are bit-identical to serving each
 // image with Do. The supervisor folds one latency observation per
-// replica (one run happened) and one divergence vote per image.
+// replica (one run happened) and one divergence vote per image. It is
+// DoBatchCtx without a request context.
 func (p *Pool) DoBatch(xs []*tensor.Tensor, runIndex int) (*PoolBatchResult, error) {
-	return p.doBatch(xs, runIndex, 0, false)
+	return p.DoBatchCtx(nil, xs, runIndex)
 }
 
-// DoBatchDeadline is DoBatch under a simulated-seconds budget: when the
-// latency burned by failed replica attempts already exceeds the budget,
-// the batch is abandoned with a wrapped ErrDeadlineExceeded instead of
-// paying the per-image FP32 reference passes nobody is waiting for.
-// This is the fleet-side twin of Executor.DoBatchDeadline and the
-// serving path the network front-end's pool backend threads its batch
-// budget through (the deadlineflow analyzer enforces that choice).
+// DoBatchDeadline is DoBatch under a simulated-seconds budget: a
+// compatibility wrapper over DoBatchCtx.
 func (p *Pool) DoBatchDeadline(xs []*tensor.Tensor, runIndex int, deadlineSec float64) (*PoolBatchResult, error) {
-	return p.doBatch(xs, runIndex, deadlineSec, true)
+	return p.DoBatchCtx(rtctx.WithBudget(deadlineSec), xs, runIndex)
 }
 
-func (p *Pool) doBatch(xs []*tensor.Tensor, runIndex int, deadlineSec float64, abort bool) (*PoolBatchResult, error) {
+// DoBatchCtx is the fleet's single budget-carrying batch path and the
+// serving route the network front-end's pool backend threads its batch
+// budget through (the deadlineflow analyzer enforces that choice).
+// Under round-robin dispatch the context arms core.InferBatchCtx's
+// layer-boundary guard on every replica attempt, so a hopeless batch
+// aborts mid-graph; when the latency burned by failed replica attempts
+// already exceeds the budget, the batch is abandoned with a wrapped
+// ErrDeadlineExceeded instead of paying the per-image FP32 reference
+// passes nobody is waiting for. The batch's DeadlineMiss verdict is
+// computed here — once, against the context budget — so executor- and
+// pool-backed front-ends report misses identically.
+func (p *Pool) DoBatchCtx(ctx *rtctx.Request, xs []*tensor.Tensor, runIndex int) (*PoolBatchResult, error) {
 	if len(xs) == 0 {
 		return nil, fmt.Errorf("serve: pool DoBatch needs at least one input")
 	}
@@ -211,28 +273,42 @@ func (p *Pool) doBatch(xs []*tensor.Tensor, runIndex int, deadlineSec float64, a
 		req = p.stats.Requests
 	})
 	p.advanceRebuilds(req)
+	var br *PoolBatchResult
+	var err error
 	if p.cfg.Quorum {
-		return p.serveQuorumBatch(req, xs, runIndex, deadlineSec, abort)
+		br, err = p.serveQuorumBatch(req, xs, runIndex, ctx)
+	} else {
+		br, err = p.serveRRBatch(req, xs, runIndex, ctx)
 	}
-	return p.serveRRBatch(req, xs, runIndex, deadlineSec, abort)
+	if err != nil {
+		return nil, err
+	}
+	if b := ctx.Budget(); b > 0 && br.LatencySec > b {
+		br.DeadlineMiss = true
+		p.locked(func() { p.stats.DeadlineMisses++ })
+	}
+	return br, nil
 }
 
 // batchBudgetExpired decides the pre-FP32 abort: a deadline-carrying
 // batch whose burned latency has already consumed the budget is
 // abandoned rather than degraded.
-func (p *Pool) batchBudgetExpired(burnedSec, deadlineSec float64, abort bool) error {
-	if !abort || deadlineSec <= 0 || burnedSec < deadlineSec {
+func (p *Pool) batchBudgetExpired(burnedSec float64, ctx *rtctx.Request) error {
+	if !ctx.Aborts() || burnedSec < ctx.BudgetSec {
 		return nil
 	}
 	p.locked(func() { p.stats.DeadlineAborts++ })
 	return fmt.Errorf("serve: pool batch abandoned at %.3gs of a %.3gs budget: %w",
-		burnedSec, deadlineSec, ErrDeadlineExceeded)
+		burnedSec, ctx.BudgetSec, ErrDeadlineExceeded)
 }
 
 // serveRRBatch dispatches the whole batch to the next active replica,
-// failing over like serveRR. deadlineSec/abort gate the terminal FP32
-// tier: an already-blown budget abandons the batch instead.
-func (p *Pool) serveRRBatch(req uint64, xs []*tensor.Tensor, runIndex int, deadlineSec float64, abort bool) (*PoolBatchResult, error) {
+// failing over like serveRR. The request context gates the terminal
+// FP32 tier (an already-blown budget abandons the batch) and arms the
+// layer-boundary guard inside each replica's batched inference, so a
+// hopeless batch aborts mid-graph without trying further replicas —
+// every replica runs the same schedule against the same spent budget.
+func (p *Pool) serveRRBatch(req uint64, xs []*tensor.Tensor, runIndex int, ctx *rtctx.Request) (*PoolBatchResult, error) {
 	active := p.sup.active()
 	if len(active) == 0 {
 		return p.serveFP32Batch(xs, 0)
@@ -248,12 +324,24 @@ func (p *Pool) serveRRBatch(req uint64, xs []*tensor.Tensor, runIndex int, deadl
 		if !r.activeState() {
 			continue
 		}
+		burned := total
 		run, runErr := r.eng.RunFaulty(p.runCfg(runIndex), r.inj)
 		total += run.LatencySec
 		var outs [][]*tensor.Tensor
 		var inferErr error
 		if runErr == nil {
-			outs, inferErr = r.eng.InferBatchFaulty(xs, r.inj)
+			outs, inferErr = r.eng.InferBatchCtx(ctx, xs, r.inj, p.cfg.Device, burned)
+			if errors.Is(inferErr, core.ErrBudgetExhausted) {
+				// The replica behaved — the budget ran out. Fold its
+				// latency observation without an error mark, then abandon.
+				p.locked(func() {
+					p.countObservation(p.sup.observe(req, r, run.LatencySec, false))
+					p.stats.DeadlineAborts++
+					p.stats.DeadlineMisses++
+				})
+				return nil, fmt.Errorf("serve: pool batch abandoned mid-graph at %.3gs of a %.3gs budget: %w",
+					total, ctx.BudgetSec, ErrDeadlineExceeded)
+			}
 		}
 		errored := runErr != nil || inferErr != nil
 		served := false
@@ -279,7 +367,7 @@ func (p *Pool) serveRRBatch(req uint64, xs []*tensor.Tensor, runIndex int, deadl
 			return br, nil
 		}
 	}
-	if err := p.batchBudgetExpired(total, deadlineSec, abort); err != nil {
+	if err := p.batchBudgetExpired(total, ctx); err != nil {
 		return nil, err
 	}
 	return p.serveFP32Batch(xs, total)
@@ -294,11 +382,15 @@ type bvote struct {
 }
 
 // serveQuorumBatch runs every active replica once over the batch, then
-// applies serveQuorum's majority rule image by image. deadlineSec/abort
-// gate the whole-fleet-errored FP32 fallback; the per-image no-majority
-// fallback still runs (the majority images already paid for their
-// answers, abandoning the stragglers would discard served work).
-func (p *Pool) serveQuorumBatch(req uint64, xs []*tensor.Tensor, runIndex int, deadlineSec float64, abort bool) (*PoolBatchResult, error) {
+// applies serveQuorum's majority rule image by image. The request
+// context gates the whole-fleet-errored FP32 fallback; the per-image
+// no-majority fallback still runs (the majority images already paid for
+// their answers, abandoning the stragglers would discard served work).
+// The layer-boundary guard is deliberately NOT armed inside the voters'
+// inferences: majority voting needs every replica's complete answer, so
+// the budget gates dispatch and the terminal tier instead of truncating
+// a ballot mid-graph.
+func (p *Pool) serveQuorumBatch(req uint64, xs []*tensor.Tensor, runIndex int, ctx *rtctx.Request) (*PoolBatchResult, error) {
 	active := p.sup.active()
 	if len(active) == 0 {
 		return p.serveFP32Batch(xs, 0)
@@ -331,7 +423,7 @@ func (p *Pool) serveQuorumBatch(req uint64, xs []*tensor.Tensor, runIndex int, d
 	if voterCount == 0 {
 		// Every replica errored: the batch is headed for the FP32 tier
 		// with nothing but burned hedge latency to show for it.
-		if err := p.batchBudgetExpired(burned, deadlineSec, abort); err != nil {
+		if err := p.batchBudgetExpired(burned, ctx); err != nil {
 			p.locked(func() {
 				for i := range votes {
 					v := &votes[i]

@@ -29,6 +29,7 @@ import (
 	"edgeinfer/internal/gpusim"
 	"edgeinfer/internal/graph"
 	"edgeinfer/internal/metrics"
+	"edgeinfer/internal/rtctx"
 	"edgeinfer/internal/tensor"
 )
 
@@ -289,7 +290,10 @@ type PoolStats struct {
 	CanaryFailures uint64 // rebuilds rejected by canary validation
 	Readmissions   uint64 // rebuilding → readmitted transitions
 
-	DeadlineAborts uint64 // batches abandoned before the FP32 tier on an expired budget
+	DeadlineAborts uint64 // batches abandoned (pre-FP32 or mid-graph) on an expired budget
+	// DeadlineMisses counts answered requests whose release time overran
+	// the request context's budget — the fleet's own miss verdict.
+	DeadlineMisses uint64
 }
 
 // PoolResult is one request served by the fleet.
@@ -311,6 +315,9 @@ type PoolResult struct {
 	Majority int
 	// Fallback reports the FP32 reference tier served the request.
 	Fallback bool
+	// DeadlineMiss reports the release time overran the request
+	// context's budget (DoCtx with a budget-carrying context only).
+	DeadlineMiss bool
 }
 
 // ReplicaHealth is one replica's view in the fleet health report.
@@ -461,8 +468,19 @@ func (p *Pool) Transcript() []string {
 // no injected faults the outputs are bit-identical to calling the
 // serving replica's Engine.Infer directly. An error is only possible
 // from the FP32 reference path itself (a configuration bug, not a
-// device fault).
+// device fault). It is DoCtx without a request context.
 func (p *Pool) Do(x *tensor.Tensor, runIndex int) (*PoolResult, error) {
+	return p.DoCtx(nil, x, runIndex)
+}
+
+// DoCtx is Do under a request context: the single-request twin of
+// DoBatchCtx. The context's budget records a DeadlineMiss verdict on
+// the result when the release time overruns it; single-request fleet
+// dispatch never aborts (the hedged/failover answer is already paid
+// for by the time the budget can be judged) — the batch path is where
+// mid-graph abort lives, and it is the only path the network front-end
+// serves through.
+func (p *Pool) DoCtx(ctx *rtctx.Request, x *tensor.Tensor, runIndex int) (*PoolResult, error) {
 	<-p.turn
 	defer func() { p.turn <- struct{}{} }()
 	var req uint64
@@ -471,10 +489,21 @@ func (p *Pool) Do(x *tensor.Tensor, runIndex int) (*PoolResult, error) {
 		req = p.stats.Requests
 	})
 	p.advanceRebuilds(req)
+	var res *PoolResult
+	var err error
 	if p.cfg.Quorum {
-		return p.serveQuorum(req, x, runIndex)
+		res, err = p.serveQuorum(req, x, runIndex)
+	} else {
+		res, err = p.serveRR(req, x, runIndex)
 	}
-	return p.serveRR(req, x, runIndex)
+	if err != nil {
+		return nil, err
+	}
+	if b := ctx.Budget(); b > 0 && res.LatencySec > b {
+		res.DeadlineMiss = true
+		p.locked(func() { p.stats.DeadlineMisses++ })
+	}
+	return res, nil
 }
 
 func (p *Pool) runCfg(runIndex int) core.RunConfig {

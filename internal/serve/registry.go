@@ -8,6 +8,7 @@ import (
 	"edgeinfer/internal/gpusim"
 	"edgeinfer/internal/graph"
 	"edgeinfer/internal/models"
+	"edgeinfer/internal/wcet"
 )
 
 // Registry builds named engines on demand for one serving platform, with
@@ -168,6 +169,22 @@ func (r *Registry) engine(key, model string, proxy bool) (*core.Engine, error) {
 	}
 	r.engines[key] = e
 	return e, nil
+}
+
+// WCETBound measures the model's numeric proxy engine on the registry
+// platform (at its paper latency clock) and returns the certified
+// worst-case-execution-time bound: the empirical maximum of runs
+// samples inflated by margin (wcet.Profile.WCETSec). The serving
+// front-end's admission control sheds any request whose budget cannot
+// be met under this bound.
+func (r *Registry) WCETBound(model string, runs int, margin float64) (float64, error) {
+	e, err := r.ProxyEngine(model)
+	if err != nil {
+		return 0, err
+	}
+	dev := gpusim.NewDevice(r.spec, gpusim.PaperLatencyClock(r.spec))
+	prof := wcet.Measure(e, dev, runs)
+	return prof.WCETSec(margin), nil
 }
 
 // Fallback returns the pristine (un-built) numeric proxy graph for the

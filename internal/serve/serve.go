@@ -25,6 +25,7 @@ import (
 	"edgeinfer/internal/fixrand"
 	"edgeinfer/internal/gpusim"
 	"edgeinfer/internal/graph"
+	"edgeinfer/internal/rtctx"
 	"edgeinfer/internal/tensor"
 )
 
@@ -327,9 +328,9 @@ func (ex *Executor) abortLate(res *Result, abort bool) error {
 // bit-identical to calling Engine.Run and Engine.Infer directly. Under
 // faults it degrades down the chain; it returns an error only if the
 // FP32 reference path itself cannot serve (a configuration bug, not a
-// device fault).
+// device fault). It is DoCtx without a request context.
 func (ex *Executor) Do(x *tensor.Tensor, runIndex int) (*Result, error) {
-	return ex.do(x, runIndex, ex.cfg.DeadlineSec, false)
+	return ex.DoCtx(nil, x, runIndex)
 }
 
 // DoDeadline is Do under a per-request deadline (clamped with the
@@ -338,9 +339,19 @@ func (ex *Executor) Do(x *tensor.Tensor, runIndex int) (*Result, error) {
 // ErrDeadlineExceeded instead of falling through to the FP32 tier — the
 // answer could only arrive after the client stopped caring, so the
 // reference pass is not paid. A request served late by the tier that was
-// already running still gets its answer, with DeadlineMiss set.
+// already running still gets its answer, with DeadlineMiss set. It is a
+// compatibility wrapper over DoCtx.
 func (ex *Executor) DoDeadline(x *tensor.Tensor, runIndex int, deadlineSec float64) (*Result, error) {
-	return ex.do(x, runIndex, ex.effectiveDeadline(deadlineSec), true)
+	return ex.DoCtx(rtctx.WithBudget(deadlineSec), x, runIndex)
+}
+
+// DoCtx is the single budget-carrying serving path: the context's
+// budget clamps through the configured DeadlineSec, and an aborting
+// context (rtctx.Request.Aborts) abandons an expired request with a
+// wrapped ErrDeadlineExceeded before the FP32 tier instead of
+// answering late. A nil context serves unbounded — exactly Do.
+func (ex *Executor) DoCtx(ctx *rtctx.Request, x *tensor.Tensor, runIndex int) (*Result, error) {
+	return ex.do(x, runIndex, ex.effectiveDeadline(ctx.Budget()), ctx.Aborts())
 }
 
 func (ex *Executor) do(x *tensor.Tensor, runIndex int, deadlineSec float64, abort bool) (*Result, error) {

@@ -78,8 +78,12 @@ func (p Profile) WCETSec(margin float64) float64 {
 	return p.MaxSec * (1 + margin)
 }
 
-// MissRate returns the fraction of samples exceeding the deadline.
+// MissRate returns the fraction of samples exceeding the deadline. An
+// empty profile has no misses (rate 0), not a NaN.
 func (p Profile) MissRate(deadlineSec float64) float64 {
+	if len(p.Samples) == 0 {
+		return 0
+	}
 	misses := 0
 	for _, s := range p.Samples {
 		if s > deadlineSec {

@@ -63,6 +63,83 @@ func TestMissRate(t *testing.T) {
 	}
 }
 
+func TestMissRateEdges(t *testing.T) {
+	// An empty profile has no misses — 0, never NaN.
+	var empty Profile
+	if r := empty.MissRate(0.010); r != 0 {
+		t.Fatalf("empty profile miss rate %v, want 0", r)
+	}
+	p := Profile{Samples: []float64{1, 2, 3, 4}}
+	// Zero budget: every sample misses.
+	if r := p.MissRate(0); r != 1 {
+		t.Fatalf("zero-budget miss rate %v, want 1", r)
+	}
+	// A deadline exactly at a sample is met (strictly-greater misses).
+	if r := p.MissRate(4); r != 0 {
+		t.Fatalf("deadline==max miss rate %v, want 0", r)
+	}
+	// A deadline beyond the max misses nothing.
+	if r := p.MissRate(100); r != 0 {
+		t.Fatalf("generous deadline miss rate %v, want 0", r)
+	}
+}
+
+func TestPercentileEdges(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	// Sub-percent percentiles stay inside the sample range (the
+	// nearest-rank index clamps at 0).
+	if Percentile(s, 1.0) != 1 {
+		t.Fatalf("p1 %v, want first sample", Percentile(s, 1.0))
+	}
+	if Percentile(s, 0.1) != 1 {
+		t.Fatalf("p0.1 %v, want first sample", Percentile(s, 0.1))
+	}
+	// Out-of-range p clamps to the extremes rather than indexing out of
+	// bounds.
+	if Percentile(s, -5) != 1 || Percentile(s, 250) != 10 {
+		t.Fatal("out-of-range percentiles must clamp")
+	}
+	// A single sample answers every percentile.
+	one := []float64{7}
+	for _, p := range []float64{0, 1, 50, 99, 100} {
+		if Percentile(one, p) != 7 {
+			t.Fatalf("single-sample p%v = %v", p, Percentile(one, p))
+		}
+	}
+}
+
+func TestWCETSecEdges(t *testing.T) {
+	// An empty profile certifies a zero bound: MaxSec is the zero value
+	// and any margin scales it to zero — the caller must measure first.
+	var empty Profile
+	if w := empty.WCETSec(0.2); w != 0 {
+		t.Fatalf("empty profile WCET %v, want 0", w)
+	}
+	// Zero margin certifies the observed max as-is.
+	p := Profile{MaxSec: 0.010}
+	if w := p.WCETSec(0); w != 0.010 {
+		t.Fatalf("zero-margin WCET %v", w)
+	}
+}
+
+func TestAnalyzePipelineEdges(t *testing.T) {
+	dev := nxDev()
+	// No stages: an empty pipeline fits any non-negative budget with a
+	// zero makespan.
+	pb := AnalyzePipeline(dev, 0)
+	if pb.MakespanSec != 0 || !pb.Fits {
+		t.Fatalf("empty pipeline: makespan %v fits %v, want 0/true", pb.MakespanSec, pb.Fits)
+	}
+	// Zero budget with real stages cannot fit.
+	tight := AnalyzePipeline(dev, 0, Stage{"inference", 0.020})
+	if tight.Fits {
+		t.Fatal("zero-budget pipeline reported as fitting")
+	}
+	if tight.MakespanSec != 0.020 {
+		t.Fatalf("makespan %v", tight.MakespanSec)
+	}
+}
+
 func TestCertify(t *testing.T) {
 	e := pednetEngine(t, 1)
 	pass := Certify(e, nxDev(), 30, 0.040, 0.2)
