@@ -17,6 +17,11 @@
 # shed explicitly, answer every request, and drain cleanly — run under
 # both the FIFO baseline and the EDF + WCET-admission discipline, the
 # latter gated on deadline-miss rate), archived as BENCH_serve.json.
+# Finally the cluster chaos soak: a partitioned NX/AGX pipeline under a
+# seeded mid-stream stage kill plus link noise, run under the race
+# detector, gated on zero lost frames, bit-identical answered outputs
+# against the fault-free baseline, and bounded recovery; its partition
+# choice and recovery metrics archive as BENCH_cluster.json.
 # Run from the repo root.
 set -eux
 
@@ -43,3 +48,6 @@ go test -run='^$' -bench='^(BenchmarkNumericInference|BenchmarkEngineBuild|Bench
   go run ./cmd/loadgen -smoke -name BenchmarkServeLoadEDF \
     -deadline 250 -tightFrac 0.25 -spread 3 -edf -wcet -missGate 0.05
 } | go run ./cmd/benchjson -out BENCH_serve.json
+# Cluster chaos soak: mid-stream stage death must recover with zero
+# lost frames and bit-identical answers (see cmd/clusterbench).
+go run -race ./cmd/clusterbench -smoke | go run ./cmd/benchjson -out BENCH_cluster.json

@@ -1,0 +1,215 @@
+// Command clusterbench soaks the partitioned pipeline under the
+// cluster chaos plan: a heterogeneous NX/AGX pipeline with a standby
+// node streams frames while a mid-stream stage kill, probabilistic link
+// noise, and a late restart play out. The run is fully seeded, so the
+// verdict sequence, supervisor transcript, and fault counters are
+// byte-identical across invocations.
+//
+// The smoke gate checks the robustness contract end to end: a fault-
+// free baseline and the chaos run must answer with bit-identical
+// outputs for every answered frame, no frame may be lost silently
+// (answered + shed == frames), the stage kill must be detected and
+// failed over within a bounded number of frames, and the partition
+// choice plus recovery metrics land on stdout as a benchjson line for
+// BENCH_cluster.json.
+//
+// Usage:
+//
+//	clusterbench                       # default soak, prints the line and a summary
+//	clusterbench -frames 120 -crashFrame 30
+//	clusterbench -smoke                # CI gate: exit non-zero on any violation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"edgeinfer/internal/cluster"
+	"edgeinfer/internal/core"
+	"edgeinfer/internal/faults"
+	"edgeinfer/internal/fixrand"
+	"edgeinfer/internal/gpusim"
+	"edgeinfer/internal/metrics"
+	"edgeinfer/internal/models"
+	"edgeinfer/internal/tensor"
+)
+
+func main() {
+	model := flag.String("model", "resnet18", "model to stream (must have a numeric proxy)")
+	framesN := flag.Int("frames", 60, "frames to stream")
+	crashFrame := flag.Int("crashFrame", 15, "frame at which the victim stage's node dies")
+	seed := flag.String("seed", "clusterbench", "fault stream seed")
+	name := flag.String("name", "BenchmarkClusterPipeline", "benchmark result line name")
+	recoveryBound := flag.Int("recoveryBound", 8, "smoke: max frames from detection to first clean answer")
+	smoke := flag.Bool("smoke", false, "CI gate: fail on lost frames, wrong answers, or slow recovery")
+	verbose := flag.Bool("v", false, "print the supervisor transcript")
+	flag.Parse()
+
+	if err := run(*model, *framesN, *crashFrame, *seed, *name, *recoveryBound, *smoke, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "clusterbench:", err)
+		os.Exit(1)
+	}
+}
+
+// topology is the soak's cluster: a heterogeneous pipeline with one
+// standby, joined by an interconnect fast enough that partitioning the
+// proxy's microsecond-scale compute pays (the partitioner itself
+// decides; gigabit would correctly collapse to one stage and leave
+// nothing to kill).
+func topology() (nodes, standby []cluster.Node, links []gpusim.Link) {
+	nodes = []cluster.Node{cluster.NX("nx-0"), cluster.NX("nx-1"), cluster.AGX("agx-2")}
+	standby = []cluster.Node{cluster.NX("nx-standby")}
+	links = cluster.UniformLinks(len(nodes)-1, gpusim.Link{BandwidthBps: 1e11, LatencySec: 1e-7})
+	return nodes, standby, links
+}
+
+func run(model string, framesN, crashFrame int, seed, name string, recoveryBound int, smoke, verbose bool) error {
+	if !models.HasProxy(model) {
+		return fmt.Errorf("no numeric proxy for %q (need one of the classification models)", model)
+	}
+	g, err := models.BuildProxy(model, models.DefaultProxyOptions())
+	if err != nil {
+		return err
+	}
+	eng, err := core.Build(g, core.DefaultConfig(gpusim.XavierNX(), 1))
+	if err != nil {
+		return err
+	}
+	xs := inputs(seed, framesN)
+	nodes, standby, links := topology()
+
+	// Fault-free baseline: the bit-identity oracle.
+	base, err := cluster.New(cluster.PipelineConfig{Engine: eng, Nodes: nodes, Standby: standby, Links: links})
+	if err != nil {
+		return err
+	}
+	baseRep, err := base.Run(xs)
+	if err != nil {
+		return err
+	}
+
+	// Chaos run: mid-stream stage kill plus link noise, same topology.
+	crashStage := 0
+	if len(base.Partition().Stages) > 1 {
+		crashStage = 1
+	}
+	plan := faults.ClusterChaos(seed, crashStage, crashFrame)
+	chaos, err := cluster.New(cluster.PipelineConfig{
+		Engine: eng, Nodes: nodes, Standby: standby, Links: links,
+		Injector: plan.New("soak"),
+	})
+	if err != nil {
+		return err
+	}
+	rep, err := chaos.Run(xs)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(os.Stderr, "clusterbench: %s over %d frames: partition %s\n", model, framesN, rep.Partition)
+	fmt.Fprintf(os.Stderr, "clusterbench: answered %d, shed %d, lost %d | failovers %d, merges %d | crash detected frame %d, recovered in %d frames (%.3gms)\n",
+		rep.Answered, rep.Shed, rep.Lost, rep.Failovers, rep.Merges, rep.CrashDetectFrame, rep.RecoveryFrames, rep.RecoverySec*1e3)
+	fmt.Fprintf(os.Stderr, "clusterbench: faults injected: %s\n", rep.Counters)
+	if verbose {
+		for _, line := range rep.Transcript {
+			fmt.Fprintln(os.Stderr, "clusterbench:", line)
+		}
+	}
+
+	wrong := wrongAnswers(baseRep, rep)
+
+	// The benchjson line: mean answered latency as ns/op; the partition
+	// choice (cut positions) and recovery metrics as custom units.
+	var mean float64
+	for _, l := range rep.Latencies {
+		mean += l
+	}
+	if len(rep.Latencies) > 0 {
+		mean /= float64(len(rep.Latencies))
+	}
+	p := metrics.Percentiles(rep.Latencies, 50, 99)
+	fmt.Printf("%s %d %.0f ns/op %.0f p50-ns/op %.0f p99-ns/op %.0f recovery-ns %d recovery-frames %d frames-lost %d shed %d failovers %d merges %d wrong-answers %d stages",
+		name, rep.Answered, mean*1e9, p[0]*1e9, p[1]*1e9, rep.RecoverySec*1e9,
+		rep.RecoveryFrames, rep.Lost, rep.Shed, rep.Failovers, rep.Merges, wrong, len(rep.Partition.Stages))
+	for i, c := range rep.Partition.Cuts() {
+		fmt.Printf(" %d cut-%d", c, i+1)
+	}
+	fmt.Println()
+
+	if !smoke {
+		return nil
+	}
+	var fails []string
+	gate := func(ok bool, format string, args ...any) {
+		if !ok {
+			fails = append(fails, fmt.Sprintf(format, args...))
+		}
+	}
+	gate(baseRep.Lost == 0 && baseRep.Shed == 0 && baseRep.Answered == framesN,
+		"fault-free baseline dropped frames: answered %d shed %d lost %d", baseRep.Answered, baseRep.Shed, baseRep.Lost)
+	gate(rep.Lost == 0, "%d frames lost silently", rep.Lost)
+	gate(rep.Answered+rep.Shed == framesN, "answered %d + shed %d != %d frames", rep.Answered, rep.Shed, framesN)
+	gate(rep.CrashDetectFrame >= 0, "stage kill was never detected")
+	gate(rep.Failovers+rep.Merges >= 1, "no failover after the stage kill")
+	gate(rep.CrashDetectFrame < 0 || rep.RecoveryFrames <= recoveryBound,
+		"recovery took %d frames, bound is %d", rep.RecoveryFrames, recoveryBound)
+	gate(wrong == 0, "%d answered frames differ from the fault-free baseline", wrong)
+	if len(fails) > 0 {
+		for _, f := range fails {
+			fmt.Fprintln(os.Stderr, "clusterbench: FAIL:", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "cluster smoke: ok (zero lost, bit-identical answers, bounded recovery)")
+	return nil
+}
+
+// wrongAnswers counts chaos-run frames whose outputs differ bitwise
+// from the fault-free baseline — the count the smoke gate pins to zero.
+func wrongAnswers(base, rep *cluster.Report) int {
+	wrong := 0
+	for f, v := range rep.Frames {
+		if v.Shed || v.Outputs == nil {
+			continue
+		}
+		want := base.Frames[f].Outputs
+		if len(v.Outputs) != len(want) {
+			wrong++
+			continue
+		}
+		for oi := range want {
+			if !sameBits(v.Outputs[oi], want[oi]) {
+				wrong++
+				break
+			}
+		}
+	}
+	return wrong
+}
+
+func sameBits(a, b *tensor.Tensor) bool {
+	if len(a.Data) != len(b.Data) {
+		return false
+	}
+	for i := range a.Data {
+		if math.Float32bits(a.Data[i]) != math.Float32bits(b.Data[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func inputs(seed string, n int) []*tensor.Tensor {
+	src := fixrand.NewKeyed("clusterbench/" + seed)
+	xs := make([]*tensor.Tensor, n)
+	for i := range xs {
+		x := tensor.New(1, 3, 32, 32)
+		for j := range x.Data {
+			x.Data[j] = float32(src.NormFloat64())
+		}
+		xs[i] = x
+	}
+	return xs
+}

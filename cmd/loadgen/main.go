@@ -20,6 +20,13 @@
 // shed must be an explicit 503 with Retry-After, every request must be
 // answered (result or error — never a hang), the queue must respect its
 // depth bound, and the drain must complete with nothing in flight.
+//
+// SIGINT/SIGTERM (or the -timeout bound) stops the generator early but
+// never kills the artifact: arrivals cease, in-flight clients finish,
+// the server drains, and the result line still prints — flagged with a
+// trailing "1 partial" unit and with the hard smoke gates skipped, so a
+// truncated CI run leaves a diffable partial measurement instead of
+// nothing.
 package main
 
 import (
@@ -32,7 +39,9 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
 	"edgeinfer/internal/faults"
@@ -90,6 +99,7 @@ func main() {
 	spread := flag.Int("spread", 1, "deadline ladder rungs: request i's deadline is deadline*(1+i%spread)")
 	missGate := flag.Float64("missGate", -1, "smoke: max allowed deadline-miss fraction (<0 disables)")
 	name := flag.String("name", "BenchmarkServeLoad", "benchmark result line name")
+	timeout := flag.Duration("timeout", 0, "stop generating arrivals after this long and emit a partial result (0 disables)")
 	flag.Parse()
 
 	if err := run(config{
@@ -100,7 +110,7 @@ func main() {
 		seed: *seed, slowRate: *slowRate, discRate: *discRate,
 		burstEvery: *burstEvery, burstFactor: *burstFactor, smoke: *smoke,
 		edf: *edf, wcetAdm: *wcetAdm, tightFrac: *tightFrac, spread: *spread,
-		missGate: *missGate, name: *name,
+		missGate: *missGate, name: *name, timeout: *timeout,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
@@ -125,6 +135,7 @@ type config struct {
 	spread                  int
 	missGate                float64
 	name                    string
+	timeout                 time.Duration
 }
 
 func run(cfg config) error {
@@ -195,6 +206,21 @@ func run(cfg config) error {
 		BurstFactor:    cfg.burstFactor,
 	}.NewNet(cfg.model)
 
+	// Interruption sources: SIGINT/SIGTERM and the -timeout bound. Either
+	// one stops the generator between arrival slots; in-flight clients
+	// still finish and the drain still runs, so the run always ends with
+	// a (possibly partial) result line.
+	stop := make(chan os.Signal, 2)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(stop)
+	var timeoutC <-chan time.Time
+	if cfg.timeout > 0 {
+		tm := time.NewTimer(cfg.timeout)
+		defer tm.Stop()
+		timeoutC = tm.C
+	}
+	partial := ""
+
 	// Open loop: one tick per arrival slot; burst ticks multiply the
 	// arrivals in that slot. Nobody waits for a response before the next
 	// arrival fires.
@@ -206,13 +232,35 @@ func run(cfg config) error {
 	tightPermille := int(cfg.tightFrac * 1000)
 	start := time.Now()
 	issued := 0
+arrivals:
 	for tick := 1; issued < cfg.requests; tick++ {
 		// Sleep to the tick's absolute slot, not a relative interval: when
 		// the sleep overshoots (coarse timer granularity), later ticks fire
 		// back-to-back until the schedule catches up, so the asked-for rate
 		// is delivered on average instead of silently eroding.
 		if d := time.Until(start.Add(time.Duration(tick) * interval)); d > 0 {
-			time.Sleep(d)
+			slot := time.NewTimer(d)
+			select {
+			case <-stop:
+				slot.Stop()
+				partial = "interrupt"
+				break arrivals
+			case <-timeoutC:
+				slot.Stop()
+				partial = "timeout"
+				break arrivals
+			case <-slot.C:
+			}
+		} else {
+			select {
+			case <-stop:
+				partial = "interrupt"
+				break arrivals
+			case <-timeoutC:
+				partial = "timeout"
+				break arrivals
+			default:
+			}
 		}
 		n := inj.Burst(tick)
 		for j := 0; j < n && issued < cfg.requests; j++ {
@@ -267,7 +315,7 @@ func run(cfg config) error {
 	st := srv.Stats()
 	ms := st.Models[cfg.model]
 
-	return report(cfg, outcomes, elapsed, ms, st, inj)
+	return report(cfg, outcomes, elapsed, ms, st, inj, partial)
 }
 
 // fire issues one request and classifies the outcome.
@@ -324,8 +372,12 @@ func readJSON(r io.Reader, v any) error {
 }
 
 // report prints the human summary to stderr and the benchjson-parseable
-// result line to stdout, then applies the smoke gates.
-func report(cfg config, outcomes []outcome, elapsed time.Duration, ms netserve.ModelStats, st netserve.ServerStats, inj *faults.NetInjector) error {
+// result line to stdout, then applies the smoke gates. A non-empty
+// partial reason marks a truncated run: the line still prints (with the
+// partial unit set to 1) but the hard smoke gates are skipped — a
+// truncated run proves nothing about overload behavior and must not
+// fail CI for it, yet the measurement that did happen stays archived.
+func report(cfg config, outcomes []outcome, elapsed time.Duration, ms netserve.ModelStats, st netserve.ServerStats, inj *faults.NetInjector, partial string) error {
 	var served, shed, expired, canceled, transport, other int
 	var tightMisses, tightTotal int
 	var latencies []float64
@@ -362,10 +414,14 @@ func report(cfg config, outcomes []outcome, elapsed time.Duration, ms netserve.M
 	}
 	answered := served + shed + expired
 	total := len(outcomes)
+	den := float64(total)
+	if den == 0 {
+		den = 1 // an interrupted run may have zero arrivals; keep the line finite
+	}
 	p := metrics.Percentiles(latencies, 50, 99, 99.9)
 	rps := float64(served) / elapsed.Seconds()
-	shedPct := 100 * float64(shed) / float64(total)
-	missFrac := float64(misses) / float64(total)
+	shedPct := 100 * float64(shed) / den
+	missFrac := float64(misses) / den
 	missPct := 100 * missFrac
 
 	fmt.Fprintf(os.Stderr,
@@ -381,11 +437,22 @@ func report(cfg config, outcomes []outcome, elapsed time.Duration, ms netserve.M
 	}
 	fmt.Fprintf(os.Stderr, "loadgen: faults injected: %s\n", inj.Counters())
 
+	partialFlag := 0
+	if partial != "" {
+		partialFlag = 1
+		fmt.Fprintf(os.Stderr, "loadgen: partial run (%s): stopped after %d of %d arrivals\n",
+			partial, total, cfg.requests)
+	}
+
 	// The benchjson line: p50 as ns/op, everything else as custom units.
-	fmt.Printf("%s %d %.0f ns/op %.0f p99-ns/op %.0f p999-ns/op %.2f req/s %.2f shed-%% %.2f miss-%% %.4f deadline_miss_rate %d edf_evictions %d wcet_shed %d max-depth\n",
-		cfg.name, served, p[0]*1e9, p[1]*1e9, p[2]*1e9, rps, shedPct, missPct, missFrac, ms.EDFEvictions, ms.WCETShed, ms.MaxQueueDepth)
+	fmt.Printf("%s %d %.0f ns/op %.0f p99-ns/op %.0f p999-ns/op %.2f req/s %.2f shed-%% %.2f miss-%% %.4f deadline_miss_rate %d edf_evictions %d wcet_shed %d max-depth %d partial\n",
+		cfg.name, served, p[0]*1e9, p[1]*1e9, p[2]*1e9, rps, shedPct, missPct, missFrac, ms.EDFEvictions, ms.WCETShed, ms.MaxQueueDepth, partialFlag)
 
 	if !cfg.smoke {
+		return nil
+	}
+	if partial != "" {
+		fmt.Fprintf(os.Stderr, "loadgen: smoke gates skipped: %s run is partial, the artifact above is flagged\n", partial)
 		return nil
 	}
 	var fails []string

@@ -36,6 +36,10 @@ var DefaultBlockingFuncs = []string{
 	"(*edgeinfer/internal/serve.Pool).DoBatch",
 	"(*edgeinfer/internal/serve.Pool).DoBatchCtx",
 	"(*edgeinfer/internal/serve.Pool).DoBatchDeadline",
+	// The cluster pipeline executor serializes a whole partitioned
+	// stream — frames × stages of simulated inference per call.
+	"(*edgeinfer/internal/cluster.Pipeline).Run",
+	"(*edgeinfer/internal/cluster.Pipeline).RunCtx",
 }
 
 // LockOrder returns the lock-across-blocking analyzer. extraBlocking

@@ -30,6 +30,11 @@ var DefaultPanicRoots = []string{
 	// bodies and the batcher goroutine serves them.
 	"(*edgeinfer/internal/netserve.Server).handleInfer",
 	"(*edgeinfer/internal/netserve.modelQueue).run",
+	// The cluster pipeline executor: streams whole frames through a
+	// partitioned engine under fault injection — a panic here kills an
+	// entire soak mid-stream instead of shedding the offending frame.
+	"(*edgeinfer/internal/cluster.Pipeline).Run",
+	"(*edgeinfer/internal/cluster.Pipeline).RunCtx",
 }
 
 // PanicPath returns the analyzer that walks the static call graph from

@@ -1,0 +1,70 @@
+package cluster
+
+import (
+	"fmt"
+
+	"edgeinfer/internal/metrics"
+	"edgeinfer/internal/serve"
+)
+
+// The cluster supervisor tracks per-node health from stage heartbeats,
+// reusing serve's replica state machine: a node misses a heartbeat
+// (crash) or blows its stage latency expectation (hang) and walks
+// healthy→suspect→quarantined exactly like a sick replica; a restarted
+// node re-enters through rebuilding→readmitted when it comes back as
+// standby capacity. The pipeline executor drives it single-threaded in
+// frame order, so the transcript is deterministic.
+
+type nodeHealth struct {
+	state   serve.ReplicaState
+	strikes int
+}
+
+type supervisor struct {
+	fsm        serve.HealthFSM
+	nodes      []nodeHealth
+	names      []string
+	trans      metrics.Transitions
+	transcript []string
+}
+
+func newSupervisor(names []string, suspectConfirm int) *supervisor {
+	return &supervisor{
+		fsm:   serve.HealthFSM{SuspectConfirm: suspectConfirm},
+		nodes: make([]nodeHealth, len(names)),
+		names: names,
+	}
+}
+
+func (s *supervisor) state(node int) serve.ReplicaState { return s.nodes[node].state }
+
+// transition force-moves a node (failover bookkeeping: quarantine
+// confirmation, rebuilding, readmission), counting the edge.
+func (s *supervisor) transition(frame, node int, to serve.ReplicaState, detail string) {
+	from := s.nodes[node].state
+	s.trans.Add(from.String(), to.String())
+	s.nodes[node].state = to
+	line := fmt.Sprintf("frame %d: node %d (%s) %s->%s", frame, node, s.names[node], from, to)
+	if detail != "" {
+		line += " " + detail
+	}
+	s.transcript = append(s.transcript, line)
+}
+
+// observe folds one stage heartbeat verdict into the node's state and
+// returns the FSM event so the executor can hang failover off the
+// quarantine edge.
+func (s *supervisor) observe(frame, node int, anomalous bool, signal string) serve.FSMEvent {
+	h := &s.nodes[node]
+	next, strikes, ev := s.fsm.Advance(h.state, h.strikes, anomalous)
+	h.strikes = strikes
+	switch ev {
+	case serve.FSMDetected, serve.FSMQuarantined:
+		s.transition(frame, node, next, signal)
+	case serve.FSMCleared:
+		s.transition(frame, node, next, "cleared")
+	case serve.FSMProbationPassed:
+		s.transition(frame, node, next, "probation passed")
+	}
+	return ev
+}

@@ -53,13 +53,20 @@ func (e *Engine) layerCostsSec(dev *gpusim.Device) map[string]float64 {
 // InferBatchFaulty: same results, same injector draw order, no
 // allocation added to the hot path.
 func (e *Engine) InferBatchCtx(ctx *rtctx.Request, xs []*tensor.Tensor, fi FaultInjector, dev *gpusim.Device, burnedSec float64) ([][]*tensor.Tensor, error) {
+	return e.inferBatchGuarded(xs, fi, e.budgetGuard(ctx, dev, burnedSec))
+}
+
+// budgetGuard builds the layer-boundary charging guard InferBatchCtx
+// and InferRangeCtx arm: nil (free) unless the context aborts and a
+// device prices the schedule.
+func (e *Engine) budgetGuard(ctx *rtctx.Request, dev *gpusim.Device, burnedSec float64) layerGuard {
 	if !ctx.Aborts() || dev == nil {
-		return e.inferBatchGuarded(xs, fi, nil)
+		return nil
 	}
 	costs := e.layerCostsSec(dev)
 	budget := ctx.Budget()
 	charged := burnedSec
-	guard := func(li int, name string) error {
+	return func(li int, name string) error {
 		charged += costs[name]
 		if charged > budget {
 			return fmt.Errorf("layer %d (%s) would end at %.3gs of a %.3gs budget: %w",
@@ -67,5 +74,4 @@ func (e *Engine) InferBatchCtx(ctx *rtctx.Request, xs []*tensor.Tensor, fi Fault
 		}
 		return nil
 	}
-	return e.inferBatchGuarded(xs, fi, guard)
 }

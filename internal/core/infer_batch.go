@@ -40,12 +40,26 @@ func (e *Engine) InferBatchFaulty(xs []*tensor.Tensor, fi FaultInjector) ([][]*t
 	return e.inferBatchGuarded(xs, fi, nil)
 }
 
-// inferBatchGuarded is the one batched-inference body. The guard, when
-// non-nil, is consulted at each layer boundary before the layer's
-// launch verdict; its error aborts the batch mid-graph without drawing
-// for the aborted layer. The nil-guard path is byte-for-byte
+// inferBatchGuarded is the whole-graph batched-inference body. The
+// guard, when non-nil, is consulted at each layer boundary before the
+// layer's launch verdict; its error aborts the batch mid-graph without
+// drawing for the aborted layer. The nil-guard path is byte-for-byte
 // InferBatchFaulty: identical injector draw order, no extra allocation.
 func (e *Engine) inferBatchGuarded(xs []*tensor.Tensor, fi FaultInjector, guard layerGuard) ([][]*tensor.Tensor, error) {
+	return e.inferBatchRange(xs, fi, guard, 0, -1, nil)
+}
+
+// inferBatchRange is the one batched-inference body, generalized to the
+// half-open layer range [from, to) so a pipeline stage can run its
+// slice of the graph on its own node (internal/cluster). from==0 with
+// to<0 covers the whole graph and is exactly the pre-range body: same
+// draw order, no allocation added. For from>0 each input tensor is
+// bound as the boundary activation — the output of layer from-1 — so
+// quantInput and consumer lookups resolve it by the producer's name.
+// outNames, when non-nil, overrides the graph outputs as both the
+// returned tensors and the arena keep set; stage callers pass the
+// boundary layer's name so the hand-off tensor survives release.
+func (e *Engine) inferBatchRange(xs []*tensor.Tensor, fi FaultInjector, guard layerGuard, from, to int, outNames []string) ([][]*tensor.Tensor, error) {
 	if !e.Numeric {
 		return nil, fmt.Errorf("core: engine %s is timing-only (no weights materialized)", e.Key())
 	}
@@ -58,6 +72,15 @@ func (e *Engine) inferBatchGuarded(xs []*tensor.Tensor, fi FaultInjector, guard 
 		}
 	}
 	g := e.Graph
+	if to < 0 {
+		to = len(g.Layers)
+	}
+	if from < 0 || from > to || to > len(g.Layers) {
+		return nil, fmt.Errorf("core: infer %s: bad layer range [%d,%d) of %d", e.Key(), from, to, len(g.Layers))
+	}
+	if outNames == nil {
+		outNames = g.Outputs
+	}
 	ar := e.bufArena()
 	bs := batchScratchPool.Get().(*batchScratch)
 	acts := bs.actMaps(len(xs))
@@ -68,14 +91,21 @@ func (e *Engine) inferBatchGuarded(xs []*tensor.Tensor, fi FaultInjector, guard 
 			keep[x] = true
 		}
 		for _, am := range acts {
-			for _, name := range g.Outputs {
+			for _, name := range outNames {
 				keep[am[name]] = true
 			}
 		}
 		ar.releaseActs(owned, keep)
 		bs.release(owned)
 	}()
-	for li, l := range g.Layers {
+	if from > 0 {
+		bname := g.Layers[from-1].Name
+		for img, x := range xs {
+			acts[img][bname] = x
+		}
+	}
+	for li := from; li < to; li++ {
+		l := g.Layers[li]
 		if guard != nil && l.Op != graph.OpInput {
 			if err := guard(li, l.Name); err != nil {
 				return nil, fmt.Errorf("core: infer %s: %w", e.Key(), err)
@@ -133,8 +163,8 @@ func (e *Engine) inferBatchGuarded(xs []*tensor.Tensor, fi FaultInjector, guard 
 	}
 	outs := make([][]*tensor.Tensor, len(xs))
 	for img := range xs {
-		outs[img] = make([]*tensor.Tensor, len(g.Outputs))
-		for i, name := range g.Outputs {
+		outs[img] = make([]*tensor.Tensor, len(outNames))
+		for i, name := range outNames {
 			outs[img][i] = acts[img][name]
 		}
 	}

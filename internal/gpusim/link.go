@@ -1,0 +1,39 @@
+package gpusim
+
+// Link models the interconnect between two simulated edge nodes: a
+// point-to-point pipe with propagation latency and payload bandwidth.
+// Like the device model it is analytic and noise-free — loss and delay
+// faults are injected on top by internal/faults, not modeled here —
+// so the cluster partitioner and the pipeline executor price the same
+// transfer identically.
+type Link struct {
+	// BandwidthBps is the payload bandwidth in bytes per second.
+	// Zero means an infinite pipe: transfers pay latency only.
+	BandwidthBps float64
+	// LatencySec is the one-way propagation latency paid once per
+	// transfer regardless of size.
+	LatencySec float64
+}
+
+// GigabitEthernet is the default edge-cluster link: 1 GbE wire speed
+// (125 MB/s payload) with a typical switched-LAN round-trip share.
+func GigabitEthernet() Link {
+	return Link{BandwidthBps: 125e6, LatencySec: 200e-6}
+}
+
+// WiFi is the constrained-link profile: ~40 MB/s effective payload at
+// a 2 ms latency floor, the regime where activation size dominates cut
+// choice.
+func WiFi() Link {
+	return Link{BandwidthBps: 40e6, LatencySec: 2e-3}
+}
+
+// TransferSec prices moving bytes across the link: propagation latency
+// plus serialization time at the payload bandwidth.
+func (l Link) TransferSec(bytes int64) float64 {
+	t := l.LatencySec
+	if l.BandwidthBps > 0 && bytes > 0 {
+		t += float64(bytes) / l.BandwidthBps
+	}
+	return t
+}

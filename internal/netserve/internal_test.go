@@ -277,3 +277,127 @@ func TestBatchCtxMixedTenantAndExpiredFloor(t *testing.T) {
 		t.Fatalf("budget %v, want the tiny floor, not a real budget", b.BudgetSec)
 	}
 }
+
+// tiedReq builds requests sharing one exact (deadline, band, arrival)
+// triple, so rtctx.EarlierThan cannot order them and only the admission
+// sequence can.
+func tiedReq(now time.Time, remSec float64) *request {
+	return &request{
+		ctx: &rtctx.Request{
+			BudgetSec: remSec,
+			Abort:     true,
+			Band:      rtctx.BandLow,
+			Arrival:   now,
+			Deadline:  now.Add(time.Duration(remSec * float64(time.Second))),
+		},
+		resp: make(chan response, 1),
+	}
+}
+
+func TestEDFTiesServeInAdmissionOrder(t *testing.T) {
+	q := edfQueue(8, 0)
+	now := time.Now()
+	var admitted []*request
+	for i := 0; i < 5; i++ {
+		r := tiedReq(now, 1)
+		if resp := q.admit(r); resp != nil {
+			t.Fatalf("admit %d shed: %+v", i, resp)
+		}
+		admitted = append(admitted, r)
+	}
+	for i, want := range admitted {
+		got := q.popLive()
+		if got != want {
+			t.Fatalf("tied requests served out of admission order at %d", i)
+		}
+	}
+}
+
+func TestEDFEvictionTieBreakIsDeterministic(t *testing.T) {
+	q := edfQueue(3, 0)
+	now := time.Now()
+	// Three requests with byte-identical deadline keys fill the queue.
+	tied := make([]*request, 3)
+	for i := range tied {
+		tied[i] = tiedReq(now, 1)
+		if resp := q.admit(tied[i]); resp != nil {
+			t.Fatalf("admit %d shed: %+v", i, resp)
+		}
+	}
+	// A strictly more urgent newcomer must evict exactly the LAST-
+	// ADMITTED member of the tie — the unique edfBefore maximum — not
+	// whichever equal element a sort happened to leave at the tail.
+	urgent := tiedReq(now, 0.001)
+	if resp := q.admit(urgent); resp != nil {
+		t.Fatalf("urgent newcomer shed: %+v", resp)
+	}
+	select {
+	case er := <-tied[2].resp:
+		if er.status != 503 || er.reply.(ErrReply).Reason != "evicted" {
+			t.Fatalf("victim got %+v, want 503 evicted", er)
+		}
+	default:
+		t.Fatal("last-admitted tied request was not the eviction victim")
+	}
+	for i, want := range []*request{urgent, tied[0], tied[1]} {
+		if got := q.popLive(); got != want {
+			t.Fatalf("post-eviction order wrong at %d", i)
+		}
+	}
+	// A newcomer that only TIES the tail is shed, never swapped in:
+	// its admission sequence makes it the latest of the equals.
+	q2 := edfQueue(1, 0)
+	first := tiedReq(now, 1)
+	if resp := q2.admit(first); resp != nil {
+		t.Fatalf("first shed: %+v", resp)
+	}
+	if resp := q2.admit(tiedReq(now, 1)); resp == nil {
+		t.Fatal("tying newcomer admitted into a full queue")
+	} else if er := resp.reply.(ErrReply); er.Reason != "queue-full" {
+		t.Fatalf("tying newcomer shed reason %q, want queue-full", er.Reason)
+	}
+	if got := q2.popLive(); got != first {
+		t.Fatal("queued request displaced by a tying newcomer")
+	}
+}
+
+// TestAdmitGateOrderInvariant pins the documented admission gate order:
+// draining, then WCET, then full-queue.
+func TestAdmitGateOrderInvariant(t *testing.T) {
+	// Draining beats WCET: a hopeless budget on a draining queue sheds
+	// as "draining", not "wcet".
+	q := edfQueue(4, 0.5)
+	q.beginDrain()
+	resp := q.admit(edfReq(0.001, rtctx.BandHigh))
+	if resp == nil {
+		t.Fatal("draining queue admitted a request")
+	}
+	if er := resp.reply.(ErrReply); er.Reason != "draining" {
+		t.Fatalf("draining+hopeless shed reason %q, want draining", er.Reason)
+	}
+	if q.stats.WCETShed != 0 {
+		t.Fatalf("draining shed counted as WCET: %d", q.stats.WCETShed)
+	}
+
+	// WCET beats full-queue: a hopeless budget against a full queue
+	// sheds as "wcet" without evicting the feasible occupant, even
+	// though its deadline is more urgent.
+	q2 := edfQueue(1, 0.5)
+	occupant := edfReq(2.0, rtctx.BandLow)
+	if r := q2.admit(occupant); r != nil {
+		t.Fatalf("feasible occupant shed: %+v", r)
+	}
+	resp = q2.admit(edfReq(0.1, rtctx.BandHigh))
+	if resp == nil {
+		t.Fatal("hopeless newcomer admitted")
+	}
+	if er := resp.reply.(ErrReply); er.Reason != "wcet" {
+		t.Fatalf("hopeless-vs-full shed reason %q, want wcet", er.Reason)
+	}
+	if q2.stats.EDFEvictions != 0 {
+		t.Fatalf("hopeless request evicted a feasible one: %d evictions", q2.stats.EDFEvictions)
+	}
+	if got := q2.popLive(); got != occupant {
+		t.Fatal("feasible occupant missing after hopeless admit attempt")
+	}
+}

@@ -21,6 +21,14 @@ import (
 type request struct {
 	x   *tensor.Tensor
 	ctx *rtctx.Request
+	// seq is the admission sequence number, stamped under the queue
+	// lock. It breaks EDF ties that rtctx.EarlierThan cannot: two
+	// requests with identical (deadline, band, arrival) compare false
+	// both ways, so without seq their queue order — and therefore which
+	// one a full queue evicts — would depend on incidental insertion
+	// mechanics. With seq, edfBefore is a strict total order and ties
+	// serve in admission order (FIFO among equals).
+	seq uint64
 	// resp receives exactly one response (buffered so the batcher never
 	// blocks on a handler that stopped listening).
 	resp chan response
@@ -74,7 +82,8 @@ type modelQueue struct {
 	mu       sync.Mutex
 	high     []*request
 	low      []*request
-	edfq     []*request // EDF mode: deadline-ordered, earliest first
+	edfq     []*request // EDF mode: ordered by edfBefore, most urgent first
+	nextSeq  uint64     // admission sequence for EDF tie-breaking
 	draining bool
 	stats    ModelStats
 	runIndex int
@@ -124,13 +133,41 @@ func shedResp(reason string) response {
 	}
 }
 
+// edfBefore is the EDF queue's strict total order: rtctx.EarlierThan
+// (deadline, then band, then arrival) with the admission sequence as
+// the final tie-break. EarlierThan alone is only a partial order —
+// fully-equal contexts compare false both ways — and the queue's
+// insertion position and eviction victim must not depend on how a sort
+// happens to arrange incomparable elements. Under edfBefore, equal-
+// deadline requests serve in admission order and a full queue's victim
+// is deterministically the latest-admitted member of the latest-
+// deadline tie (see TestEDFEvictionTieBreakIsDeterministic).
+func edfBefore(a, b *request) bool {
+	if a.ctx.EarlierThan(b.ctx) {
+		return true
+	}
+	if b.ctx.EarlierThan(a.ctx) {
+		return false
+	}
+	return a.seq < b.seq
+}
+
 // admit applies the admission policy. It returns nil when the request
 // was queued; otherwise the response the caller must write (a shed).
-// Order of gates: draining sheds everything; WCET admission sheds a
-// request whose budget the certified bound proves unmeetable (the 503
-// arrives in microseconds instead of a 504 after the budget burned);
-// then the full-queue policy of the active discipline. Every shed is an
-// explicit 503 with Retry-After, never a hang.
+//
+// INVARIANT — gate order is draining, then WCET, then full-queue, and
+// tests pin it (TestAdmitGateOrderInvariant):
+//
+//  1. draining sheds everything: a server past beginDrain must never
+//     accept work, however urgent, or Drain cannot terminate;
+//  2. WCET admission sheds a request whose budget the certified bound
+//     proves unmeetable (the 503 arrives in microseconds instead of a
+//     504 after the budget burned) — before the full-queue policy, so
+//     a hopeless request can never evict a feasible one;
+//  3. the full-queue policy of the active discipline runs last, and
+//     only over requests that could still meet their deadlines.
+//
+// Every shed is an explicit 503 with Retry-After, never a hang.
 func (q *modelQueue) admit(req *request) *response {
 	q.mu.Lock()
 	if q.draining {
@@ -148,16 +185,20 @@ func (q *modelQueue) admit(req *request) *response {
 	}
 	var victim *request
 	if q.edf {
+		req.seq = q.nextSeq
+		q.nextSeq++
 		if len(q.edfq) >= q.depth {
 			last := q.edfq[len(q.edfq)-1]
-			if !req.ctx.EarlierThan(last.ctx) {
+			if !edfBefore(req, last) {
 				q.countShed(req.high())
 				q.mu.Unlock()
 				r := shedResp("queue-full")
 				return &r
 			}
 			// Drop-late: the queued request with the latest deadline is
-			// the one most likely already hopeless.
+			// the one most likely already hopeless; among equal
+			// deadlines, the latest-admitted (edfBefore keeps the queue
+			// a strict total order, so the tail is the unique maximum).
 			victim = last
 			q.edfq = q.edfq[:len(q.edfq)-1]
 			q.stats.Evicted++
@@ -165,7 +206,7 @@ func (q *modelQueue) admit(req *request) *response {
 			q.countShed(victim.high())
 		}
 		i := sort.Search(len(q.edfq), func(i int) bool {
-			return req.ctx.EarlierThan(q.edfq[i].ctx)
+			return edfBefore(req, q.edfq[i])
 		})
 		q.edfq = append(q.edfq, nil)
 		copy(q.edfq[i+1:], q.edfq[i:])

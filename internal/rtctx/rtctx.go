@@ -5,13 +5,16 @@
 // and account against its budget, and core.Engine.InferBatchCtx
 // consults it at layer boundaries to abort a hopeless batch mid-graph.
 //
-// The package is a leaf — it imports only time — so every layer can
-// depend on it without cycles. A nil *Request means "no real-time
-// context": every accessor is nil-safe and reads as the zero value, so
-// legacy callers (Do/DoBatch) simply pass nil.
+// The package is a leaf — it imports only time and math — so every
+// layer can depend on it without cycles. A nil *Request means "no
+// real-time context": every accessor is nil-safe and reads as the zero
+// value, so legacy callers (Do/DoBatch) simply pass nil.
 package rtctx
 
-import "time"
+import (
+	"math"
+	"time"
+)
 
 // Band is the request's priority band. The zero value is BandLow, so
 // an unstamped request is low priority.
@@ -98,6 +101,22 @@ func (r *Request) RemainingSec(now time.Time) float64 {
 		return 0
 	}
 	return r.Deadline.Sub(now).Seconds()
+}
+
+// RemainingBudgetSec is the simulated budget left after burnedSec has
+// been spent — the per-hop accounting primitive for pipelined
+// execution: each hop charges its compute and transfer time against
+// the one request budget and clamps retry backoff to what remains.
+// Exhausted budgets floor at zero; unbounded contexts (nil, or no
+// budget) report +Inf so "clamp to remaining" never truncates them.
+func (r *Request) RemainingBudgetSec(burnedSec float64) float64 {
+	if r == nil || r.BudgetSec <= 0 {
+		return math.Inf(1)
+	}
+	if rem := r.BudgetSec - burnedSec; rem > 0 {
+		return rem
+	}
+	return 0
 }
 
 // HasDeadline reports whether a wall-clock deadline was stamped.

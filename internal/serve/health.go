@@ -1,0 +1,63 @@
+package serve
+
+// The health state machine, factored out of the replica Supervisor so
+// the cluster supervisor (internal/cluster) advances the same
+// healthy→suspect→quarantined→rebuilding→readmitted lattice over
+// pipeline nodes that the Pool advances over replicas. Only the
+// traffic-driven edges live here: recovery (rebuild, readmission) is
+// the owner's repair machinery, not an observation.
+
+// FSMEvent is the transition an observation produced, so the owner can
+// attach its own bookkeeping (transcripts, counters, failover) to each
+// edge.
+type FSMEvent int
+
+const (
+	// FSMNone: the observation changed nothing.
+	FSMNone FSMEvent = iota
+	// FSMDetected: a healthy or probationary member turned suspect.
+	FSMDetected
+	// FSMQuarantined: a suspect accumulated enough strikes.
+	FSMQuarantined
+	// FSMCleared: a suspect produced a clean observation and recovered.
+	FSMCleared
+	// FSMProbationPassed: a readmitted member's first clean observation
+	// made it healthy.
+	FSMProbationPassed
+)
+
+// HealthFSM advances one member's state from one observation verdict.
+// It is a pure value: the owner stores (state, strikes) per member and
+// holds whatever lock guards them.
+type HealthFSM struct {
+	// SuspectConfirm is how many consecutive anomalous observations
+	// (including the one that raised suspicion) quarantine a suspect
+	// (default 2).
+	SuspectConfirm int
+}
+
+// Advance folds one anomaly verdict into (state, strikes) and returns
+// the new pair plus the transition taken, if any. Quarantined and
+// rebuilding members are not advanced: they are out of the observation
+// path until the owner readmits them.
+func (f HealthFSM) Advance(state ReplicaState, strikes int, anomalous bool) (ReplicaState, int, FSMEvent) {
+	confirm := f.SuspectConfirm
+	if confirm <= 0 {
+		confirm = 2
+	}
+	switch {
+	case anomalous && (state == StateHealthy || state == StateReadmitted):
+		return StateSuspect, 1, FSMDetected
+	case anomalous && state == StateSuspect:
+		strikes++
+		if strikes >= confirm {
+			return StateQuarantined, strikes, FSMQuarantined
+		}
+		return StateSuspect, strikes, FSMNone
+	case !anomalous && state == StateSuspect:
+		return StateHealthy, 0, FSMCleared
+	case !anomalous && state == StateReadmitted:
+		return StateHealthy, strikes, FSMProbationPassed
+	}
+	return state, strikes, FSMNone
+}

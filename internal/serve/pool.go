@@ -253,24 +253,21 @@ func (s *Supervisor) observe(req uint64, r *replica, latSec float64, errored boo
 			signal = fmt.Sprintf("div-ewma=%.3f", r.divEWMA)
 		}
 	}
-	switch {
-	case anomalous && (r.state == StateHealthy || r.state == StateReadmitted):
-		r.strikes = 1
-		s.transition(req, r, StateSuspect, signal)
+	next, strikes, ev := HealthFSM{SuspectConfirm: s.cfg.SuspectConfirm}.Advance(r.state, r.strikes, anomalous)
+	r.strikes = strikes
+	switch ev {
+	case FSMDetected:
+		s.transition(req, r, next, signal)
 		detected = true
-	case anomalous && r.state == StateSuspect:
-		r.strikes++
-		if r.strikes >= s.cfg.SuspectConfirm {
-			r.quarantinedAt = req
-			r.quarantines++
-			s.transition(req, r, StateQuarantined, signal)
-			quarantined = true
-		}
-	case !anomalous && r.state == StateSuspect:
-		r.strikes = 0
-		s.transition(req, r, StateHealthy, "cleared")
-	case !anomalous && r.state == StateReadmitted:
-		s.transition(req, r, StateHealthy, "probation passed")
+	case FSMQuarantined:
+		r.quarantinedAt = req
+		r.quarantines++
+		s.transition(req, r, next, signal)
+		quarantined = true
+	case FSMCleared:
+		s.transition(req, r, next, "cleared")
+	case FSMProbationPassed:
+		s.transition(req, r, next, "probation passed")
 	}
 	return detected, quarantined
 }
