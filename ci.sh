@@ -21,7 +21,11 @@
 # seeded mid-stream stage kill plus link noise, run under the race
 # detector, gated on zero lost frames, bit-identical answered outputs
 # against the fault-free baseline, and bounded recovery; its partition
-# choice and recovery metrics archive as BENCH_cluster.json.
+# choice and recovery metrics archive as BENCH_cluster.json. Last, the
+# learned-predictor cold-build benchmark (cmd/predbench): the model zoo
+# built unpruned vs pruned with a freshly trained latency predictor,
+# gated on byte-identical tactic choices and a >=50% cut in modeled
+# tactic-timing cost, archived as BENCH_build.json.
 # Run from the repo root.
 set -eux
 
@@ -51,3 +55,8 @@ go test -run='^$' -bench='^(BenchmarkNumericInference|BenchmarkEngineBuild|Bench
 # Cluster chaos soak: mid-stream stage death must recover with zero
 # lost frames and bit-identical answers (see cmd/clusterbench).
 go run -race ./cmd/clusterbench -smoke | go run ./cmd/benchjson -out BENCH_cluster.json
+# Learned-predictor cold-build benchmark: the zoo built unpruned and
+# pruned with a freshly trained latency predictor. The run itself gates
+# byte-identical tactic choices and a >=50% tactic-timing cost cut; both
+# result lines archive as BENCH_build.json so the speedup is diffable.
+go run ./cmd/predbench | go run ./cmd/benchjson -out BENCH_build.json

@@ -84,6 +84,12 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(cacheStudy)
+		transfer, err := lab.RenderLatPredTransfer()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtables:", err)
+			os.Exit(1)
+		}
+		fmt.Println(transfer)
 	case *tableN != 0:
 		fn, ok := tables[*tableN]
 		if !ok {

@@ -1,0 +1,127 @@
+// Command predbench measures what the learned latency predictor buys a
+// cold engine build: the whole model zoo is built twice per build id —
+// unpruned (the tuner times every candidate) and pruned (the trained
+// predictor ranks the menu and only the top-k plus guard band are timed)
+// — and the modeled tactic-timing costs are compared. Two
+// benchjson-parseable result lines land on stdout for CI to archive:
+//
+//	go run ./cmd/predbench -smoke | go run ./cmd/benchjson -out BENCH_build.json
+//
+// The run is also the acceptance gate for the pruner's default k: it
+// fails (exit 1) when any pruned build picks a different tactic than its
+// unpruned twin, or when the zoo-wide tactic-timing cut falls below
+// -minCut. The predictor is trained from scratch on a build-1 zoo
+// timing cache each run — no checked-in model file — so the gate also
+// covers the training pipeline end to end.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"edgeinfer/internal/core"
+	"edgeinfer/internal/gpusim"
+	"edgeinfer/internal/latpred"
+	"edgeinfer/internal/models"
+)
+
+func main() {
+	smoke := flag.Bool("smoke", false, "CI smoke: one comparison build id instead of three")
+	builds := flag.Int("builds", 3, "number of comparison build ids (starting at 2)")
+	topK := flag.Int("topk", 0, "candidates kept per layer (0 = core default)")
+	minCut := flag.Float64("minCut", 0.5, "minimum zoo-wide tactic-timing cost cut")
+	platform := flag.String("platform", "NX", "build platform (NX or AGX)")
+	saveModel := flag.String("saveModel", "", "also save the trained predictor to this path")
+	flag.Parse()
+	if *smoke {
+		*builds = 1
+	}
+
+	spec := gpusim.XavierNX()
+	if *platform == "AGX" {
+		spec = gpusim.XavierAGX()
+	}
+
+	// Seed: one cold zoo pass banks the training corpus, exactly the
+	// measurements a build farm accumulates for free.
+	cache := core.NewTimingCache()
+	var seedCost float64
+	for _, name := range models.List() {
+		cfg := core.DefaultConfig(spec, 1)
+		cfg.TimingCache = cache
+		e, err := core.Build(models.MustBuild(name), cfg)
+		if err != nil {
+			fatal(err)
+		}
+		seedCost += e.Report.TuneCostSec
+	}
+	model, stats, err := latpred.Train(cache, latpred.DefaultTrainOptions())
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "predbench: trained on %d rows (%d skipped) from %d cache entries: %s\n",
+		stats.Rows, stats.Skipped, cache.Len(), model)
+	if *saveModel != "" {
+		if err := model.SaveFile(*saveModel); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "predbench: saved model to %s\n", *saveModel)
+	}
+
+	var tuneUn, tunePr, savedSec float64
+	var timedUn, timedPr, prunes, fallbacks, diffs, engines int
+	for id := 2; id < 2+*builds; id++ {
+		for _, name := range models.List() {
+			g := models.MustBuild(name)
+			un, err := core.Build(g, core.DefaultConfig(spec, id))
+			if err != nil {
+				fatal(err)
+			}
+			cfg := core.DefaultConfig(spec, id)
+			cfg.Predictor = model
+			cfg.PredictTopK = *topK
+			pr, err := core.Build(g, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			for layer, v := range un.Choices {
+				if pr.Choices[layer] != v {
+					diffs++
+					fmt.Fprintf(os.Stderr, "predbench: %s build %d layer %s: %v -> %v\n",
+						name, id, layer, v, pr.Choices[layer])
+				}
+			}
+			tuneUn += un.Report.TuneCostSec
+			tunePr += pr.Report.TuneCostSec
+			savedSec += pr.Report.PrunedTuneCostSavedSec
+			timedUn += un.Report.TacticsTimed
+			timedPr += pr.Report.TacticsTimed
+			prunes += pr.Report.PredictedPrunes
+			fallbacks += pr.Report.PredictorFallbacks
+			engines++
+		}
+	}
+	cut := 1 - tunePr/tuneUn
+
+	// ns/op is the modeled tactic-timing cost per engine build, so the
+	// pruned/unpruned speedup is diffable straight from BENCH_build.json.
+	fmt.Printf("BenchmarkColdBuildZoo %d %.0f ns/op %.6f tune-cost-sec %d tactics-timed\n",
+		engines, tuneUn/float64(engines)*1e9, tuneUn, timedUn)
+	fmt.Printf("BenchmarkColdBuildZooPruned %d %.0f ns/op %.6f tune-cost-sec %d tactics-timed %d pruned-tactics %.6f tune-cost-saved-sec %.4f cut-frac %d choice-diffs %d fallbacks\n",
+		engines, tunePr/float64(engines)*1e9, tunePr, timedPr, prunes, savedSec, cut, diffs, fallbacks)
+
+	if diffs != 0 {
+		fatal(fmt.Errorf("%d tactic choices changed under pruning (must be 0)", diffs))
+	}
+	if cut < *minCut {
+		fatal(fmt.Errorf("tactic-timing cut %.1f%% below the %.1f%% gate", 100*cut, 100**minCut))
+	}
+	fmt.Fprintf(os.Stderr, "predbench: %d engines, cut %.1f%%, %d pruned, %d fallbacks, 0 choice diffs\n",
+		engines, 100*cut, prunes, fallbacks)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "predbench:", err)
+	os.Exit(1)
+}

@@ -35,6 +35,12 @@ var DefaultPanicRoots = []string{
 	// entire soak mid-stream instead of shedding the offending frame.
 	"(*edgeinfer/internal/cluster.Pipeline).Run",
 	"(*edgeinfer/internal/cluster.Pipeline).RunCtx",
+	// The learned latency predictor: Load parses untrusted model files
+	// off disk, and PredictSec sits inside every pruned build's tuning
+	// loop — a panic in either turns a corrupt model file into a crashed
+	// build instead of a full-menu fallback.
+	"edgeinfer/internal/latpred.Load",
+	"(*edgeinfer/internal/latpred.Model).PredictSec",
 }
 
 // PanicPath returns the analyzer that walks the static call graph from

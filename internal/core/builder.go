@@ -45,6 +45,20 @@ type BuildConfig struct {
 	// TunerNoise — the paper's §VI-A remedy as a mechanism. Nil keeps
 	// today's per-build noisy timing exactly.
 	TimingCache *TimingCache
+	// Predictor, when non-nil, pre-prunes the tuner's candidate menu: all
+	// candidates are ranked by predicted latency and only the best
+	// PredictTopK are actually timed on the device (MAPLE-Edge style).
+	// Tactic choices are unchanged as long as the noisy winner ranks
+	// inside the kept set — the default k is pinned zoo-wide by test and
+	// by the cmd/predbench CI gate. A layer falls back to full timing
+	// when any of its candidates cannot be predicted (unknown family or
+	// the predictor's own confidence gate), counted in
+	// PassStats.PredictorFallbacks.
+	Predictor LatencyPredictor
+	// PredictTopK is the number of top-ranked candidates the pruned tuner
+	// still times per layer (0 selects DefaultPredictTopK). Ignored
+	// without a Predictor.
+	PredictTopK int
 	// CanonicalWarmID stamps BuildID 0 on engines whose every tactic
 	// came from the timing cache (see BuildReport.WarmBuild): warm
 	// rebuilds then serialize byte-identically. Off by default so that
@@ -94,6 +108,35 @@ func hasWeights(g *graph.Graph) bool {
 	return false
 }
 
+// LatencyPredictor estimates the noise-free device time of a candidate
+// kernel launch without running it. Implementations live outside core
+// (internal/latpred trains one from TimingCache entries); core only
+// consumes the interface, keeping the builder free of the training
+// machinery. PredictSec returns ok=false when it cannot predict the
+// launch confidently — the tuner then falls back to timing the layer's
+// full candidate menu.
+type LatencyPredictor interface {
+	PredictSec(dev *gpusim.Device, ls kernels.LaunchSpec) (secs float64, ok bool)
+}
+
+// DefaultPredictTopK is the pruned tuner's default kept-candidate count.
+// It is chosen so that zoo-wide tactic choices match unpruned builds:
+// the tuner's noise streams are pure functions of (engine, layer,
+// candidate) — independent of which other candidates are timed — so
+// pruning preserves the choice exactly when the noisy winner ranks
+// inside the kept set. k=4 holds that across the 13-model zoo over the
+// pinned build ids (TestPrunedBuildChoicesUnchanged, cmd/predbench)
+// while cutting the modeled tactic-timing cost by well over half.
+const DefaultPredictTopK = 4
+
+// predictGuardBand widens the pruner's keep set past the top-k: any
+// candidate predicted within this factor of the k-th kept is timed
+// anyway. 1.3 ≈ exp(0.25), one multiple of the predictor's default
+// residual gate — a candidate inside the band is statistically
+// indistinguishable from the kept set, so skipping it could flip a
+// tactic choice.
+const predictGuardBand = 1.3
+
 // tuner times kernel candidates on the build device with multiplicative
 // log-normal measurement noise — the root cause of engine
 // non-determinism. With a timing cache attached, cached measurements are
@@ -106,11 +149,17 @@ type tuner struct {
 	devKey string       // platform@clock — the cache's device component
 	cache  *TimingCache // nil: always measure
 	stats  *PassStats   // kernel-tuning instrumentation sink
+	pred   LatencyPredictor
+	topK   int
 }
 
 // newTuner seeds the measurement-noise stream from the engine key, as
 // the original monolithic Build did, and binds the timing cache.
 func newTuner(dev *gpusim.Device, e *Engine, cfg BuildConfig, stats *PassStats) *tuner {
+	topK := cfg.PredictTopK
+	if topK <= 0 {
+		topK = DefaultPredictTopK
+	}
 	return &tuner{
 		dev:    dev,
 		noise:  fixrand.NewKeyed(fmt.Sprintf("tuner/%s", e.Key())),
@@ -118,6 +167,8 @@ func newTuner(dev *gpusim.Device, e *Engine, cfg BuildConfig, stats *PassStats) 
 		devKey: fmt.Sprintf("%s@%.0fMHz", cfg.Platform.Short(), dev.ClockMHz),
 		cache:  cfg.TimingCache,
 		stats:  stats,
+		pred:   cfg.Predictor,
+		topK:   topK,
 	}
 }
 
@@ -139,16 +190,18 @@ const (
 // build shuns HMMA tiles everywhere), producing the paper's 10-35%
 // engine-to-engine latency spreads.
 func (t *tuner) measure(key string, d kernels.ConvDims, ls kernels.LaunchSpec) float64 {
-	t.stats.TacticsTimed++
 	var ck string
 	if t.cache != nil {
 		ck = TimingKey(t.devKey, ls.V, d, ls.V.Precision)
 		if obs, ok := t.cache.Lookup(ck); ok {
+			// A cache hit is served, not timed: TacticsTimed counts only
+			// measurements that actually ran on the (simulated) device.
 			t.stats.CacheHits++
 			return obs
 		}
 		t.stats.CacheMisses++
 	}
+	t.stats.TacticsTimed++
 	base := ls.TimeSec(t.dev)
 	t.stats.TuneCostSec += tuneItersPerTactic*base + tuneOverheadSec
 	obs := base
@@ -177,17 +230,93 @@ func (t *tuner) pickGEMM(layer string, d kernels.ConvDims, prec tensor.Precision
 }
 
 func (t *tuner) pick(layer string, d kernels.ConvDims, cands []kernels.Variant) (kernels.Variant, kernels.LaunchSpec) {
+	t.stats.TacticsConsidered += len(cands)
+	specs := make([]kernels.LaunchSpec, len(cands))
+	for i, v := range cands {
+		specs[i] = kernels.PlanConv(v, d)
+	}
+	keep := t.prune(layer, specs)
 	best := math.Inf(1)
 	var bv kernels.Variant
 	var bs kernels.LaunchSpec
-	for _, v := range cands {
-		ls := kernels.PlanConv(v, d)
-		obs := t.measure(layer, d, ls)
+	for _, i := range keep {
+		obs := t.measure(layer, d, specs[i])
 		if obs < best {
-			best, bv, bs = obs, v, ls
+			best, bv, bs = obs, cands[i], specs[i]
 		}
 	}
 	return bv, bs
+}
+
+// prune ranks the layer's candidate launches by the time the tuner
+// *would observe* for each — the predictor's base-latency estimate
+// scaled by this build session's measurement-noise factor, which the
+// tuner can reproduce exactly because its noise streams are pure
+// functions of (engine, family, layer, symbol) — and returns the
+// indices of the topK to time, in original menu order (ties in later
+// measurement resolve first-seen, as in the unpruned tuner). Ranking by
+// observed rather than base time matters: the per-build systematic
+// family bias (sysSigma) coherently reorders whole tactic classes, so a
+// base-time ranking would need a far larger k to keep the noisy winner
+// inside the kept set. Without a predictor — or when any candidate
+// cannot be predicted confidently — the full menu is returned: a
+// wrong-but-confident predictor can only reorder which tactics get
+// timed, never invent a measurement, so the failure mode of a bad model
+// is a slower build, not a different engine.
+func (t *tuner) prune(layer string, specs []kernels.LaunchSpec) []int {
+	all := make([]int, len(specs))
+	for i := range specs {
+		all[i] = i
+	}
+	if t.pred == nil || len(specs) <= t.topK {
+		return all
+	}
+	pred := make([]float64, len(specs))
+	for i, ls := range specs {
+		p, ok := t.pred.PredictSec(t.dev, ls)
+		if !ok || !(p > 0) || math.IsInf(p, 0) {
+			t.stats.PredictorFallbacks++
+			return all
+		}
+		pred[i] = p * t.noiseFactor(layer, ls)
+	}
+	order := make([]int, len(specs))
+	copy(order, all)
+	sort.SliceStable(order, func(a, b int) bool { return pred[order[a]] < pred[order[b]] })
+	// Keep the top-k, then widen by a guard band: any candidate whose
+	// predicted-observed time sits within predictGuardBand of the k-th
+	// kept is too close to call given the model's residual, so it gets
+	// timed rather than trusted away. The band is what lets a small k
+	// stay byte-identical: the true winner is only ever lost when the
+	// model mis-ranks it *and* by a margin larger than its own error bar.
+	cut := t.topK
+	limit := pred[order[t.topK-1]] * predictGuardBand
+	for cut < len(order) && pred[order[cut]] <= limit {
+		cut++
+	}
+	keep := append([]int(nil), order[:cut]...)
+	sort.Ints(keep) // restore menu order for tie-stability
+	for _, i := range order[cut:] {
+		t.stats.PredictedPrunes++
+		// The saved cost is modeled from the predictor's own estimate of
+		// the pruned candidate — computing the simulator's ground truth
+		// here would amount to timing the tactic we just skipped.
+		t.stats.PrunedTuneCostSavedSec += tuneItersPerTactic*pred[i] + tuneOverheadSec
+	}
+	return keep
+}
+
+// noiseFactor reproduces the multiplicative measurement-noise factor
+// measure would apply to this candidate. Forking is a pure read of the
+// seeded stream, so computing the factor here neither disturbs the
+// tuner's noise state nor changes what measure later observes.
+func (t *tuner) noiseFactor(layer string, ls kernels.LaunchSpec) float64 {
+	if t.sigma <= 0 {
+		return 1
+	}
+	sys := t.noise.Fork("family/" + ls.V.Family.String()).NormFloat64()
+	jit := t.noise.Fork(layer + "/" + ls.Symbol).NormFloat64()
+	return math.Exp(sysSigma*sys + t.sigma*jit)
 }
 
 // convDims extracts the implicit-GEMM dimensions of a conv layer.

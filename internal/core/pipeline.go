@@ -27,11 +27,21 @@ type PassStats struct {
 	MergeGroups      int `json:",omitempty"` // horizontal-merge: sibling groups found
 	MergedLaunches   int `json:",omitempty"` // kernel-tuning: launches saved by merging
 
-	// Tactic-timing instrumentation (kernel-tuning pass).
-	TacticsTimed int     `json:",omitempty"` // candidate measurements requested
-	CacheHits    int     `json:",omitempty"` // served from the timing cache
-	CacheMisses  int     `json:",omitempty"` // measured on the device (cache configured)
-	TuneCostSec  float64 `json:",omitempty"` // simulated device time spent timing tactics
+	// Tactic-timing instrumentation (kernel-tuning pass). Every candidate
+	// entering tactic selection is considered; it is then either pruned
+	// by the latency predictor, served from the timing cache, or timed on
+	// the device: TacticsConsidered == PredictedPrunes + CacheHits +
+	// TacticsTimed (TestTunerStatsPartition pins the partition).
+	TacticsConsidered int     `json:",omitempty"` // candidates entering tactic selection
+	TacticsTimed      int     `json:",omitempty"` // measured on the device
+	CacheHits         int     `json:",omitempty"` // served from the timing cache
+	CacheMisses       int     `json:",omitempty"` // cache configured but entry absent
+	TuneCostSec       float64 `json:",omitempty"` // simulated device time spent timing tactics
+
+	// Learned-predictor pruning instrumentation (kernel-tuning pass).
+	PredictedPrunes        int     `json:",omitempty"` // candidates skipped by predicted rank
+	PredictorFallbacks     int     `json:",omitempty"` // layers timed in full (low confidence)
+	PrunedTuneCostSavedSec float64 `json:",omitempty"` // modeled timing cost of skipped candidates
 }
 
 // BuildReport is the engine's build provenance: one PassStats per
@@ -41,13 +51,19 @@ type BuildReport struct {
 	Passes []PassStats
 
 	// Totals across passes.
-	TacticsTimed int
-	CacheHits    int
-	CacheMisses  int
+	TacticsConsidered int
+	TacticsTimed      int
+	CacheHits         int
+	CacheMisses       int
 	// TuneCostSec is the simulated cost of the build's tactic timing
 	// (the dominant term of a real trtexec build). Warm-cache builds
 	// skip re-timing, so this is the mechanically-earned speedup.
 	TuneCostSec float64
+
+	// Learned-predictor pruning totals (see PassStats).
+	PredictedPrunes        int     `json:",omitempty"`
+	PredictorFallbacks     int     `json:",omitempty"`
+	PrunedTuneCostSavedSec float64 `json:",omitempty"`
 
 	// WarmBuild reports that a timing cache was configured and every
 	// tactic came from it: the engine is a pure function of (model,
@@ -203,10 +219,14 @@ func (pm *PassManager) Build(src *graph.Graph, cfg BuildConfig) (*Engine, error)
 			stats.Pass = p.Name()
 		}
 		report.Passes = append(report.Passes, stats)
+		report.TacticsConsidered += stats.TacticsConsidered
 		report.TacticsTimed += stats.TacticsTimed
 		report.CacheHits += stats.CacheHits
 		report.CacheMisses += stats.CacheMisses
 		report.TuneCostSec += stats.TuneCostSec
+		report.PredictedPrunes += stats.PredictedPrunes
+		report.PredictorFallbacks += stats.PredictorFallbacks
+		report.PrunedTuneCostSavedSec += stats.PrunedTuneCostSavedSec
 		if pm.hook != nil {
 			pm.hook(stats)
 		}

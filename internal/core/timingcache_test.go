@@ -54,8 +54,14 @@ func TestCacheKeysIgnoreBuildIdentity(t *testing.T) {
 	if we.Report.CacheMisses != 0 {
 		t.Fatalf("second NX build missed %d entries", we.Report.CacheMisses)
 	}
-	if we.Report.CacheHits != we.Report.TacticsTimed || we.Report.CacheHits == 0 {
-		t.Fatalf("hits %d != tactics timed %d", we.Report.CacheHits, we.Report.TacticsTimed)
+	if we.Report.CacheHits != we.Report.TacticsConsidered || we.Report.CacheHits == 0 {
+		t.Fatalf("hits %d != tactics considered %d", we.Report.CacheHits, we.Report.TacticsConsidered)
+	}
+	if we.Report.TacticsTimed != 0 {
+		t.Fatalf("warm build timed %d tactics; cache hits must not count as timed", we.Report.TacticsTimed)
+	}
+	if we.Report.TuneCostSec != 0 {
+		t.Fatalf("warm build charged %.6fs of tactic timing", we.Report.TuneCostSec)
 	}
 	if cache.Len() != seeded {
 		t.Fatalf("warm build grew the cache: %d -> %d", seeded, cache.Len())

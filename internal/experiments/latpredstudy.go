@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"edgeinfer/internal/core"
+	"edgeinfer/internal/gpusim"
+	"edgeinfer/internal/latpred"
+	"edgeinfer/internal/models"
+	"edgeinfer/internal/perfmodel"
+)
+
+// Extension experiment (beyond the paper): the learned latency predictor
+// as a rival to §VI-B's analytic BSP model. The paper shows the BSP
+// methodology — calibrate per-kernel lambdas on one platform, predict
+// another — is brittle under the optimization engine. MAPLE-Edge's
+// answer is to learn the latency surface from measurements instead: the
+// regressor folds device geometry (peak rates, bandwidth, wave and L2
+// terms) into its features, so a model trained purely on one device's
+// timing-cache entries can price launches on a device it has never seen.
+// This study scores both predictors on the same engines, the same target
+// devices, and the same covered launch subset, across three transfer
+// directions: NX->AGX, AGX->NX, and a held-out clock step on NX.
+
+// TransferRow is one transfer direction's learned-vs-analytic summary,
+// averaged over the eval engines (three builds each of inception-v4 and
+// mobilenet-v1, the §VI-B models).
+type TransferRow struct {
+	Direction string // e.g. "NX@599 -> AGX@624"
+	TrainRows int    // timing-cache rows the learned model fitted on
+	// CoveragePct is the share of eval-engine kernel time the learned
+	// model prices (tuned conv/GEMM families; the remainder — pool,
+	// elementwise, softmax launches — has no tactic menu and is excluded
+	// from both predictors for a like-for-like error).
+	CoveragePct    float64
+	LearnedErrPct  float64 // mean |pred-meas|/meas over eval engines
+	AnalyticErrPct float64 // same for the lambda-calibrated BSP model
+}
+
+// latPredEvalModels are the §VI-B models (Tables XVII/XVIII).
+var latPredEvalModels = []string{"inceptionv4", "mobilenetv1"}
+
+// LatPredTransfer runs the three transfer directions.
+func (l *Lab) LatPredTransfer() ([]TransferRow, error) {
+	nxLat := latencyDevice("NX")
+	agxLat := latencyDevice("AGX")
+	nxMax := maxDevice("NX")
+	dirs := []struct {
+		src, dst *gpusim.Device
+		buildOn  string // platform the eval engines are built on
+	}{
+		{src: nxLat, dst: agxLat, buildOn: "NX"},
+		{src: agxLat, dst: nxLat, buildOn: "AGX"},
+		// Held-out clock: train at the paper's pinned latency clock,
+		// predict the same silicon at its boost clock.
+		{src: nxLat, dst: nxMax, buildOn: "NX"},
+	}
+	var out []TransferRow
+	for _, dir := range dirs {
+		row, err := l.transferRow(dir.src, dir.dst, dir.buildOn)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// transferRow trains a predictor purely on src-keyed cache entries and
+// scores it against the BSP model on dst.
+func (l *Lab) transferRow(src, dst *gpusim.Device, buildOn string) (TransferRow, error) {
+	row := TransferRow{
+		Direction: fmt.Sprintf("%s -> %s@%.0f", latpred.DeviceKey(src), dst.Spec.Short(), dst.ClockMHz),
+	}
+	cache, err := seedZooCache(src)
+	if err != nil {
+		return row, err
+	}
+	opts := latpred.DefaultTrainOptions()
+	opts.Devices = []string{src.Spec.Short()}
+	model, stats, err := latpred.Train(cache, opts)
+	if err != nil {
+		return row, err
+	}
+	row.TrainRows = stats.Rows
+
+	var sumLearned, sumAnalytic, sumCoverage float64
+	n := 0
+	for _, name := range latPredEvalModels {
+		for build := 1; build <= 3; build++ {
+			e := l.engine(name, buildOn, build)
+			cal := perfmodel.Calibrate(e, src)
+			var covered, total, learned, analytic float64
+			for _, lch := range e.Launches {
+				t := lch.Spec.TimeSec(dst)
+				total += t
+				p, ok := model.PredictSec(dst, lch.Spec)
+				if !ok {
+					continue
+				}
+				covered += t
+				learned += p
+				raw := perfmodel.RawPredictSec(perfmodel.CountersFor(lch, dst), dst)
+				lambda := cal.Lambda[lch.Symbol]
+				if lambda <= 0 {
+					lambda = 1
+				}
+				analytic += raw / lambda
+			}
+			if covered <= 0 || total <= 0 {
+				return row, fmt.Errorf("experiments: %s build %d: predictor covered no kernel time", name, build)
+			}
+			sumLearned += perfmodel.ErrorPct(learned, covered)
+			sumAnalytic += perfmodel.ErrorPct(analytic, covered)
+			sumCoverage += 100 * covered / total
+			n++
+		}
+	}
+	row.LearnedErrPct = sumLearned / float64(n)
+	row.AnalyticErrPct = sumAnalytic / float64(n)
+	row.CoveragePct = sumCoverage / float64(n)
+	return row, nil
+}
+
+// seedZooCache builds the whole zoo once on the source device, banking
+// every tactic measurement — the learned model's entire knowledge of the
+// world. Nothing from the target device ever enters it.
+func seedZooCache(src *gpusim.Device) (*core.TimingCache, error) {
+	cache := core.NewTimingCache()
+	for _, name := range models.List() {
+		cfg := core.DefaultConfig(platformSpec(src.Spec.Short()), 1)
+		cfg.ClockMHz = src.ClockMHz
+		cfg.TimingCache = cache
+		if _, err := core.Build(models.MustBuild(name), cfg); err != nil {
+			return nil, err
+		}
+	}
+	return cache, nil
+}
+
+// RenderLatPredTransfer prints the study in the repo's table style.
+func (l *Lab) RenderLatPredTransfer() (string, error) {
+	rows, err := l.LatPredTransfer()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Extension: learned latency predictor on unseen devices (vs analytic BSP model)\n")
+	b.WriteString("Direction                  TrainRows  Coverage  LearnedErr  AnalyticErr\n")
+	for _, r := range rows {
+		b.WriteString(fmt.Sprintf("%-26s %9d  %7.1f%%  %9.2f%%  %10.2f%%\n",
+			r.Direction, r.TrainRows, r.CoveragePct, r.LearnedErrPct, r.AnalyticErrPct))
+	}
+	b.WriteString("Errors are means over 3 builds each of inception-v4 and mobilenet-v1,\n")
+	b.WriteString("restricted to the launch subset the learned model prices (same subset for both).\n")
+	return b.String(), nil
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLatPredTransferStudy gates the §VI-B extension's acceptance
+// property: on at least one transfer direction the learned predictor's
+// error must not exceed the analytic BSP model's, and every direction
+// must produce sane, well-covered numbers.
+func TestLatPredTransferStudy(t *testing.T) {
+	lab := NewLab(Default())
+	rows, err := lab.LatPredTransfer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d transfer directions, want 3", len(rows))
+	}
+	learnedWins := 0
+	for _, r := range rows {
+		if r.TrainRows == 0 {
+			t.Errorf("%s: trained on zero rows", r.Direction)
+		}
+		if r.CoveragePct < 50 {
+			t.Errorf("%s: learned model covers only %.1f%% of kernel time", r.Direction, r.CoveragePct)
+		}
+		if r.LearnedErrPct < 0 || r.LearnedErrPct > 100 {
+			t.Errorf("%s: implausible learned error %.2f%%", r.Direction, r.LearnedErrPct)
+		}
+		if r.LearnedErrPct <= r.AnalyticErrPct {
+			learnedWins++
+		}
+		t.Logf("%s: rows=%d coverage=%.1f%% learned=%.2f%% analytic=%.2f%%",
+			r.Direction, r.TrainRows, r.CoveragePct, r.LearnedErrPct, r.AnalyticErrPct)
+	}
+	if learnedWins == 0 {
+		t.Fatal("learned predictor beat the analytic model on no transfer direction")
+	}
+
+	out, err := lab.RenderLatPredTransfer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"unseen devices", "Direction", "->"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered study missing %q:\n%s", want, out)
+		}
+	}
+}

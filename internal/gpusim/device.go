@@ -99,6 +99,14 @@ func (d *Device) WaveEfficiency(blocks int) float64 {
 // several times an L2 hit, so the multiplier rises steeply.
 const l2ContentionBeta = 4.0
 
+// L2SharePerSMBytes is each SM's fair share of the L2 cache. Kernels
+// whose per-SM working set exceeds it thrash (see L2ContentionFactor);
+// the ratio of working set to this share is an engineered feature of the
+// learned latency predictor.
+func (d *Device) L2SharePerSMBytes() int64 {
+	return int64(d.Spec.L2KB) * 1024 / int64(d.Spec.SMs)
+}
+
 // L2ContentionFactor returns a latency multiplier (>= 1) for a kernel
 // whose per-SM working set is the given number of bytes. Both platforms
 // share the same 512 KB L2 (Table I), so the per-SM share is smaller on
@@ -110,7 +118,7 @@ func (d *Device) L2ContentionFactor(perSMWorkingSet int64) float64 {
 	if perSMWorkingSet <= 0 {
 		return 1
 	}
-	share := int64(d.Spec.L2KB) * 1024 / int64(d.Spec.SMs)
+	share := d.L2SharePerSMBytes()
 	if perSMWorkingSet <= share {
 		return 1
 	}

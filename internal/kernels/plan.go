@@ -215,6 +215,11 @@ func (ls LaunchSpec) TimeSec(dev *gpusim.Device) float64 {
 	return t * dev.L2ContentionFactor(ls.WorkingSet) / dev.WaveEfficiency(ls.Blocks)
 }
 
+// TileUtilization is the fraction of tile slots doing useful work: tiles
+// overhanging the M/N extents compute padding (1 for non-GEMM families).
+// Exported as an engineered feature for the learned latency predictor.
+func (ls LaunchSpec) TileUtilization() float64 { return ls.tileUtilization() }
+
 // tileUtilization is the fraction of tile slots doing useful work: tiles
 // overhanging the M/N extents compute padding. Only meaningful for the
 // GEMM-shaped families.

@@ -65,6 +65,23 @@ func (f Family) String() string {
 	}
 }
 
+// ParseFamily is the inverse of Family.String. It exists for consumers
+// that must recover the family from rendered identifiers — most notably
+// core.ParseTimingKey, which turns timing-cache keys back into training
+// rows for the learned latency predictor.
+func ParseFamily(s string) (Family, bool) {
+	for f := FamHMMAConv; f <= FamSort; f++ {
+		if f.String() == s {
+			return f, true
+		}
+	}
+	return 0, false
+}
+
+// TensorCore reports whether the family issues HMMA/IMMA instructions —
+// a feature the latency predictor uses to pick the relevant peak rate.
+func (f Family) TensorCore() bool { return usesTensorCores(f) }
+
 // Variant identifies one concrete kernel implementation.
 type Variant struct {
 	Family    Family

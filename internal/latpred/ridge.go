@@ -1,0 +1,133 @@
+package latpred
+
+import (
+	"fmt"
+	"math"
+)
+
+// fitRidge solves the standardized ridge regression min ||Xw - y||^2 +
+// lambda*n*||w||^2 over the feature rows (targets are log-seconds) and
+// returns the fitted family model. Features are standardized per column
+// before solving — except the intercept, which keeps mean 0 / std 1 so
+// its weight carries the bias — and the normal equations are solved with
+// Gaussian elimination under partial pivoting: the system is only
+// NumFeatures wide, so a dense deterministic solve is both exact enough
+// and allocation-bounded.
+func fitRidge(rows [][NumFeatures]float64, ys []float64, lambda float64) (*FamilyModel, error) {
+	n := len(rows)
+	if n == 0 || n != len(ys) {
+		return nil, fmt.Errorf("latpred: ridge fit over %d rows / %d targets", n, len(ys))
+	}
+	fm := &FamilyModel{Rows: n}
+
+	// Column statistics; constant columns get std 1 so they standardize
+	// to zero and their weight is free to stay zero.
+	for j := 0; j < NumFeatures; j++ {
+		fm.Std[j] = 1
+	}
+	for j := 1; j < NumFeatures; j++ {
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += rows[i][j]
+		}
+		mean := sum / float64(n)
+		var sq float64
+		for i := 0; i < n; i++ {
+			d := rows[i][j] - mean
+			sq += d * d
+		}
+		std := math.Sqrt(sq / float64(n))
+		fm.Mean[j] = mean
+		if std > 1e-12 {
+			fm.Std[j] = std
+		}
+	}
+
+	// Normal equations A w = b over standardized features.
+	var a [NumFeatures][NumFeatures]float64
+	var b [NumFeatures]float64
+	var z [NumFeatures]float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < NumFeatures; j++ {
+			z[j] = (rows[i][j] - fm.Mean[j]) / fm.Std[j]
+		}
+		for j := 0; j < NumFeatures; j++ {
+			for k := j; k < NumFeatures; k++ {
+				a[j][k] += z[j] * z[k]
+			}
+			b[j] += z[j] * ys[i]
+		}
+	}
+	for j := 0; j < NumFeatures; j++ {
+		for k := 0; k < j; k++ {
+			a[j][k] = a[k][j]
+		}
+	}
+	// Penalize every weight but the intercept's.
+	ridge := lambda * float64(n)
+	for j := 1; j < NumFeatures; j++ {
+		a[j][j] += ridge
+	}
+
+	w, err := solve(&a, &b)
+	if err != nil {
+		return nil, err
+	}
+	fm.Weights = w
+
+	// Train-set residual in log space: the confidence figure the prune
+	// safety valve gates on.
+	var sq float64
+	for i := 0; i < n; i++ {
+		pred := 0.0
+		for j := 0; j < NumFeatures; j++ {
+			pred += w[j] * (rows[i][j] - fm.Mean[j]) / fm.Std[j]
+		}
+		d := pred - ys[i]
+		sq += d * d
+	}
+	fm.ResidualLog = math.Sqrt(sq / float64(n))
+	if math.IsNaN(fm.ResidualLog) || math.IsInf(fm.ResidualLog, 0) {
+		return nil, fmt.Errorf("latpred: ridge fit diverged (residual %v)", fm.ResidualLog)
+	}
+	return fm, nil
+}
+
+// solve runs Gaussian elimination with partial pivoting on A w = b.
+func solve(a *[NumFeatures][NumFeatures]float64, b *[NumFeatures]float64) ([NumFeatures]float64, error) {
+	var w [NumFeatures]float64
+	m := *a
+	v := *b
+	for col := 0; col < NumFeatures; col++ {
+		pivot := col
+		for r := col + 1; r < NumFeatures; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < 1e-12 {
+			return w, fmt.Errorf("latpred: singular normal equations at column %d", col)
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		v[col], v[pivot] = v[pivot], v[col]
+		inv := 1 / m[col][col]
+		for r := col + 1; r < NumFeatures; r++ {
+			f := m[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for k := col; k < NumFeatures; k++ {
+				m[r][k] -= f * m[col][k]
+			}
+			v[r] -= f * v[col]
+		}
+	}
+	for col := NumFeatures - 1; col >= 0; col-- {
+		sum := v[col]
+		for k := col + 1; k < NumFeatures; k++ {
+			sum -= m[col][k] * w[k]
+		}
+		w[col] = sum / m[col][col]
+	}
+	return w, nil
+}

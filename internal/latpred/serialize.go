@@ -1,0 +1,169 @@
+package latpred
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"edgeinfer/internal/atomicfile"
+	"edgeinfer/internal/kernels"
+)
+
+// Predictor files follow the timing cache's hardened format discipline
+// (documented next to it in DESIGN.md §5): a magic header, a bounded
+// family count, then per family its id, row count, residual and the
+// three feature-width-prefixed float64 vectors (weights, means, stds).
+// Families are written in sorted order so identical models serialize to
+// identical bytes. Files are untrusted input on load: bad magic, a
+// foreign feature width, hostile counts, or non-finite values all fail
+// with an error after bounded allocation.
+const modelMagic = "EDGELP01"
+
+const maxModelFamilies = 64
+
+// Save serializes the model.
+func (m *Model) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(modelMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, math.Float64bits(m.MaxResidualLog)); err != nil {
+		return err
+	}
+	fams := m.Families()
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(fams))); err != nil {
+		return err
+	}
+	for _, fam := range fams {
+		fm := m.families[fam]
+		if err := bw.WriteByte(byte(fam)); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(fm.Rows)); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, math.Float64bits(fm.ResidualLog)); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(NumFeatures)); err != nil {
+			return err
+		}
+		for _, vec := range [3]*[NumFeatures]float64{&fm.Weights, &fm.Mean, &fm.Std} {
+			for _, v := range vec {
+				if err := binary.Write(bw, binary.LittleEndian, math.Float64bits(v)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Load deserializes a model. Predictor files are untrusted input:
+// truncated, bit-flipped or hostile streams return an error — never a
+// panic, and never an allocation driven by an unvalidated length field.
+func Load(r io.Reader) (*Model, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(modelMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("latpred: read model magic: %w", err)
+	}
+	if string(magic) != modelMagic {
+		return nil, fmt.Errorf("latpred: bad model magic %q", magic)
+	}
+	var gateBits uint64
+	if err := binary.Read(br, binary.LittleEndian, &gateBits); err != nil {
+		return nil, err
+	}
+	gate := math.Float64frombits(gateBits)
+	if math.IsNaN(gate) || math.IsInf(gate, 0) || gate < 0 {
+		return nil, fmt.Errorf("latpred: model has invalid confidence gate %v", gate)
+	}
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, err
+	}
+	if count > maxModelFamilies {
+		return nil, fmt.Errorf("latpred: model claims %d families, limit %d", count, maxModelFamilies)
+	}
+	m := &Model{MaxResidualLog: gate, families: map[kernels.Family]*FamilyModel{}}
+	for i := uint32(0); i < count; i++ {
+		famByte, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("latpred: model family %d: %w", i, err)
+		}
+		fam := kernels.Family(famByte)
+		if _, ok := kernels.ParseFamily(fam.String()); !ok {
+			return nil, fmt.Errorf("latpred: model family %d has unknown id %d", i, famByte)
+		}
+		if _, dup := m.families[fam]; dup {
+			return nil, fmt.Errorf("latpred: model has duplicate family %s", fam)
+		}
+		fm := &FamilyModel{}
+		var rows uint32
+		if err := binary.Read(br, binary.LittleEndian, &rows); err != nil {
+			return nil, fmt.Errorf("latpred: model family %s rows: %w", fam, err)
+		}
+		fm.Rows = int(rows)
+		var resBits uint64
+		if err := binary.Read(br, binary.LittleEndian, &resBits); err != nil {
+			return nil, fmt.Errorf("latpred: model family %s residual: %w", fam, err)
+		}
+		fm.ResidualLog = math.Float64frombits(resBits)
+		if math.IsNaN(fm.ResidualLog) || math.IsInf(fm.ResidualLog, 0) || fm.ResidualLog < 0 {
+			return nil, fmt.Errorf("latpred: model family %s has invalid residual %v", fam, fm.ResidualLog)
+		}
+		var width uint32
+		if err := binary.Read(br, binary.LittleEndian, &width); err != nil {
+			return nil, fmt.Errorf("latpred: model family %s width: %w", fam, err)
+		}
+		if width != NumFeatures {
+			return nil, fmt.Errorf("latpred: model family %s has feature width %d, this build expects %d",
+				fam, width, NumFeatures)
+		}
+		for vi, vec := range [3]*[NumFeatures]float64{&fm.Weights, &fm.Mean, &fm.Std} {
+			for j := 0; j < NumFeatures; j++ {
+				var bits uint64
+				if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+					return nil, fmt.Errorf("latpred: model family %s vector %d: %w", fam, vi, err)
+				}
+				v := math.Float64frombits(bits)
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return nil, fmt.Errorf("latpred: model family %s has non-finite coefficient", fam)
+				}
+				vec[j] = v
+			}
+		}
+		for j := 0; j < NumFeatures; j++ {
+			if fm.Std[j] <= 0 {
+				return nil, fmt.Errorf("latpred: model family %s has non-positive std", fam)
+			}
+		}
+		m.families[fam] = fm
+	}
+	return m, nil
+}
+
+// SaveFile writes the model crash-safely (serialize to memory, publish
+// with an atomic rename), matching TimingCache.SaveFile.
+func (m *Model) SaveFile(path string) error {
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		return err
+	}
+	return atomicfile.WriteFile(path, buf.Bytes(), 0o644)
+}
+
+// LoadFile reads a model from a file path.
+func LoadFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

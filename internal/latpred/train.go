@@ -1,0 +1,184 @@
+package latpred
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"edgeinfer/internal/core"
+	"edgeinfer/internal/gpusim"
+	"edgeinfer/internal/kernels"
+)
+
+// TrainOptions scopes and regularizes training.
+type TrainOptions struct {
+	// Lambda is the ridge strength (relative to row count). The default
+	// 1e-3 barely biases the fit but keeps collinear feature pairs (raw
+	// vs device-normalized work terms) numerically tame.
+	Lambda float64
+	// MinRowsPerFamily drops families with fewer usable rows than this;
+	// an under-determined fit would pass the residual gate on luck.
+	// Default 3*NumFeatures.
+	MinRowsPerFamily int
+	// MaxResidualLog is copied onto the model as its confidence gate
+	// (default 0.25: comfortably above the 0.13 tuner-noise floor,
+	// well below a mis-modeled family).
+	MaxResidualLog float64
+	// Devices restricts training rows to these platform shorts ("NX",
+	// "AGX"). Empty trains on everything — the transfer studies use the
+	// filter to hold a whole device profile out.
+	Devices []string
+	// MinClockMHz/MaxClockMHz restrict training rows to a clock band
+	// (0 = unbounded); the held-out-clock study trains below a ceiling
+	// and predicts above it.
+	MinClockMHz, MaxClockMHz float64
+}
+
+// DefaultTrainOptions returns the standard training configuration.
+func DefaultTrainOptions() TrainOptions {
+	return TrainOptions{Lambda: 1e-3, MinRowsPerFamily: 3 * NumFeatures, MaxResidualLog: 0.25}
+}
+
+// TrainStats reports what Train consumed.
+type TrainStats struct {
+	Rows        int // usable training rows
+	Skipped     int // cache entries filtered out or unparseable
+	RowsByFam   map[kernels.Family]int
+	DroppedFams []kernels.Family // families below MinRowsPerFamily
+}
+
+// Train fits per-family regressors from a timing cache: every entry is
+// parsed back into (device, variant, dims) with core.ParseTimingKey, the
+// launch is re-planned to recover its features, and the cached observed
+// seconds become the log-space target. Entries that fail to parse — a
+// shared cache may carry foreign keys — are skipped, not fatal; training
+// fails only when no family reaches MinRowsPerFamily.
+func Train(cache *core.TimingCache, opts TrainOptions) (*Model, TrainStats, error) {
+	if opts.Lambda <= 0 {
+		opts.Lambda = 1e-3
+	}
+	if opts.MinRowsPerFamily <= 0 {
+		opts.MinRowsPerFamily = 3 * NumFeatures
+	}
+	if opts.MaxResidualLog <= 0 {
+		opts.MaxResidualLog = 0.25
+	}
+	stats := TrainStats{RowsByFam: map[kernels.Family]int{}}
+	if cache == nil {
+		return nil, stats, fmt.Errorf("latpred: train on nil timing cache")
+	}
+
+	rowsByFam := map[kernels.Family][][NumFeatures]float64{}
+	ysByFam := map[kernels.Family][]float64{}
+	for _, key := range cache.Keys() { // sorted: training is deterministic
+		obs, ok := cache.Lookup(key)
+		if !ok || !(obs > 0) {
+			stats.Skipped++
+			continue
+		}
+		devStr, v, d, _, err := core.ParseTimingKey(key)
+		if err != nil {
+			stats.Skipped++
+			continue
+		}
+		dev, err := ParseDeviceKey(devStr)
+		if err != nil || !admitDevice(dev, opts) {
+			stats.Skipped++
+			continue
+		}
+		ls := kernels.PlanConv(v, d)
+		var f [NumFeatures]float64
+		if !featuresInto(&f, dev, ls) {
+			stats.Skipped++
+			continue
+		}
+		fam := v.Family
+		rowsByFam[fam] = append(rowsByFam[fam], f)
+		ysByFam[fam] = append(ysByFam[fam], math.Log(obs))
+		stats.Rows++
+		stats.RowsByFam[fam]++
+	}
+
+	m := &Model{MaxResidualLog: opts.MaxResidualLog, families: map[kernels.Family]*FamilyModel{}}
+	for fam, rows := range rowsByFam {
+		if len(rows) < opts.MinRowsPerFamily {
+			stats.DroppedFams = append(stats.DroppedFams, fam)
+			continue
+		}
+		fm, err := fitRidge(rows, ysByFam[fam], opts.Lambda)
+		if err != nil {
+			// A degenerate family (e.g. every row identical) is dropped,
+			// not fatal: PredictSec answers ok=false for it and the tuner
+			// times those layers in full.
+			stats.DroppedFams = append(stats.DroppedFams, fam)
+			continue
+		}
+		m.families[fam] = fm
+	}
+	sortFams(stats.DroppedFams)
+	if len(m.families) == 0 {
+		return nil, stats, fmt.Errorf("latpred: no family reached %d training rows (usable rows %d, skipped %d)",
+			opts.MinRowsPerFamily, stats.Rows, stats.Skipped)
+	}
+	return m, stats, nil
+}
+
+// ParseDeviceKey parses the tuner's device-key format "SHORT@<clock>MHz"
+// (e.g. "NX@599MHz") back into a configured device. Like cache keys, the
+// input is untrusted: malformed strings return an error.
+func ParseDeviceKey(s string) (*gpusim.Device, error) {
+	at := strings.LastIndex(s, "@")
+	if at < 0 {
+		return nil, fmt.Errorf("latpred: device key %q: missing '@'", s)
+	}
+	spec, err := gpusim.ByName(s[:at])
+	if err != nil {
+		return nil, fmt.Errorf("latpred: device key %q: %w", s, err)
+	}
+	clockStr, okSuffix := strings.CutSuffix(s[at+1:], "MHz")
+	if !okSuffix {
+		return nil, fmt.Errorf("latpred: device key %q: missing MHz suffix", s)
+	}
+	clock, err := strconv.ParseFloat(clockStr, 64)
+	if err != nil || !(clock > 0) {
+		return nil, fmt.Errorf("latpred: device key %q: bad clock", s)
+	}
+	return gpusim.NewDevice(spec, clock), nil
+}
+
+// DeviceKey renders a device in the tuner's cache-key format, so study
+// code can build filters that match what builds recorded.
+func DeviceKey(dev *gpusim.Device) string {
+	return fmt.Sprintf("%s@%.0fMHz", dev.Spec.Short(), dev.ClockMHz)
+}
+
+func admitDevice(dev *gpusim.Device, opts TrainOptions) bool {
+	if len(opts.Devices) > 0 {
+		found := false
+		for _, want := range opts.Devices {
+			if dev.Spec.Short() == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	if opts.MinClockMHz > 0 && dev.ClockMHz < opts.MinClockMHz {
+		return false
+	}
+	if opts.MaxClockMHz > 0 && dev.ClockMHz > opts.MaxClockMHz {
+		return false
+	}
+	return true
+}
+
+func sortFams(fams []kernels.Family) {
+	for i := 1; i < len(fams); i++ {
+		for j := i; j > 0 && fams[j] < fams[j-1]; j-- {
+			fams[j], fams[j-1] = fams[j-1], fams[j]
+		}
+	}
+}
